@@ -1,0 +1,384 @@
+"""Extension experiments beyond the paper's evaluation.
+
+* **SGC probe** — how much of the GCN's advantage is plain neighborhood
+  smoothing?  SGC (A*^K X + logistic head, the paper's reference [12])
+  vs the full GCN vs the best feature-only baseline.
+* **Cross-design transfer** — train the GCN on one design, classify
+  another without any fault injection there: the logical endpoint of
+  the paper's "train on part of the design, skip FI on the rest".
+* **Transient (SEU) criticality** — the same pipeline applied to
+  single-event upsets in state elements, giving AVF-style flop
+  vulnerability.
+* **Fault collapsing** — structural equivalence classes and their
+  simulation savings (results provably identical; see the test suite).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import DESIGNS
+from repro.fi import (
+    collapse_faults,
+    dataset_from_campaign,
+    full_fault_universe,
+    run_transient_campaign,
+)
+from repro.models import GCNClassifier
+from repro.models.sgc import SGCClassifier
+from repro.reporting import render_table
+
+
+def test_sgc_structure_probe(benchmark, analyzers,
+                             multi_split_results, artifact):
+    """SGC sits between feature-only baselines and the full GCN."""
+    from repro.graph import stratified_split
+
+    rows = []
+
+    def run():
+        for design in DESIGNS:
+            data = analyzers[design].data
+            sgc_accuracies = []
+            for index in range(5):
+                split = stratified_split(data.y_class, 0.2,
+                                         seed=(0, "fig3", index))
+                model = SGCClassifier(k=3).fit(data, split)
+                sgc_accuracies.append(model.accuracy(split.val_mask))
+            gcn = float(np.mean(
+                [run[0] for run in multi_split_results[design]["GCN"]]
+            ))
+            best_baseline = max(
+                float(np.mean([run[0] for run in runs]))
+                for name, runs in multi_split_results[design].items()
+                if name != "GCN"
+            )
+            rows.append({
+                "design": design,
+                "best feature baseline": f"{best_baseline:.1%}",
+                "SGC (K=3)": f"{np.mean(sgc_accuracies):.1%}",
+                "GCN": f"{gcn:.1%}",
+            })
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    artifact("ext_sgc_probe.txt", render_table(
+        rows, title="Extension — structure probe: baseline vs SGC vs GCN"
+    ))
+    assert len(rows) == len(DESIGNS)
+
+
+def test_cross_design_transfer(benchmark, analyzers, artifact):
+    """Train on design A, classify design B's nodes — zero FI on B.
+
+    This is a **negative result**, reported as such: naive transfer
+    collapses (often below the majority class) because the probability
+    features are standardized per design and each design's criticality
+    landscape reflects its own workloads, observation strobes and
+    severity policy.  The experiment quantifies why the paper's flow is
+    *within-design* — FI a subset of the design's own nodes — rather
+    than across designs.
+    """
+    rows = []
+    off_diagonal = []
+    diagonal = []
+
+    def run():
+        for source in DESIGNS:
+            model = analyzers[source].classifier
+            row = {"train on \\ test on": source}
+            for target in DESIGNS:
+                target_data = analyzers[target].data
+                if target == source:
+                    accuracy = analyzers[source].validation_accuracy()
+                    diagonal.append(accuracy)
+                else:
+                    transferred = model.transfer_to(target_data)
+                    predictions = transferred.predict()
+                    accuracy = float(
+                        (predictions == target_data.y_class).mean()
+                    )
+                    off_diagonal.append(accuracy)
+                row[target] = f"{accuracy:.1%}"
+            rows.append(row)
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    artifact("ext_transfer.txt", render_table(
+        rows,
+        title="Extension — cross-design transfer accuracy "
+              "(NEGATIVE RESULT: diagonal = within-design held-out "
+              "accuracy; off-diagonal = naive transfer)",
+    ))
+    # The finding: within-design learning is strong, naive transfer is
+    # not — a wide gap on every pair.
+    assert min(diagonal) >= 0.85
+    assert max(off_diagonal) < min(diagonal) - 0.2
+
+
+def test_transient_criticality(benchmark, analyzers, artifact):
+    """SEU campaigns: flop vulnerability per design."""
+    rows = []
+    top_rows = []
+
+    def run():
+        for design in DESIGNS:
+            analyzer = analyzers[design]
+            campaign = run_transient_campaign(
+                analyzer.netlist, analyzer.workloads,
+                injections_per_flop=6, seed=0, severity=0.05,
+            )
+            dataset = dataset_from_campaign(campaign, threshold=0.5)
+            rows.append({
+                "design": design,
+                "flops": dataset.n_nodes,
+                "injections": len(campaign.faults),
+                "SEU-critical flops": int(dataset.labels.sum()),
+                "mean vulnerability": round(float(dataset.scores.mean()),
+                                            3),
+                "seconds": round(campaign.simulation_seconds, 2),
+            })
+            order = np.argsort(-dataset.scores)[:3]
+            for position in order:
+                top_rows.append({
+                    "design": design,
+                    "flop": dataset.node_names[position],
+                    "vulnerability": round(
+                        float(dataset.scores[position]), 3
+                    ),
+                })
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    artifact("ext_transient.txt",
+             render_table(rows, title="Extension — SEU campaigns "
+                                      "(severity 5% error-rate)")
+             + "\n\n"
+             + render_table(top_rows,
+                            title="Most SEU-vulnerable state bits"))
+    # Permanent faults dominate transients: mean SEU vulnerability is
+    # below the stuck-at critical fraction everywhere.
+    for design, row in zip(DESIGNS, rows):
+        stuck_fraction = analyzers[design].data.y_class.mean()
+        assert row["mean vulnerability"] <= stuck_fraction + 0.05
+
+
+def test_fault_collapsing_ratios(benchmark, analyzers, artifact):
+    rows = []
+
+    def run():
+        for design in DESIGNS:
+            netlist = analyzers[design].netlist
+            universe = collapse_faults(
+                netlist, full_fault_universe(netlist)
+            )
+            rows.append({
+                "design": design,
+                "faults": len(universe.original),
+                "classes": len(universe.representatives),
+                "simulations avoided": f"{universe.collapse_ratio:.1%}",
+            })
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    artifact("ext_collapsing.txt", render_table(
+        rows, title="Extension — structural fault collapsing"
+    ))
+    for row in rows:
+        assert row["classes"] <= row["faults"]
+
+
+def test_selective_hardening(benchmark, analyzers, artifact):
+    """Closing the loop the paper motivates: use predicted criticality
+    to decide where to spend hardening resources (TMR), then re-run the
+    campaign and measure the design-level failure-probability drop.
+
+    Compared against a random-selection policy with the same budget and
+    the ground-truth oracle; GCN guidance should approach the oracle
+    and clearly beat random.
+
+    Metric: expected failures per uniformly-random single fault in
+    *mission logic* — all original gates plus TMR replicas.  Majority
+    voters are excluded under the standard rad-hard-voter assumption
+    (a voter inherits exactly the criticality of the node it protects,
+    so un-hardened voters would merely relocate the risk; real TMR
+    flows implement voters in hardened cells)."""
+    from repro.fi import dataset_from_campaign, run_campaign
+    from repro.netlist.transform import harden_nodes
+
+    design = "or1200_icfsm"
+    budget = 16
+    rows = []
+
+    def mission_failure_probability(dataset, n_original):
+        mission = [
+            score
+            for name, score in zip(dataset.node_names, dataset.scores)
+            if "_vab" not in name and "_vac" not in name
+            and "_vbc" not in name and "_vote" not in name
+        ]
+        # Normalize by the original node count so policies with more
+        # replicas are not rewarded for diluting the mean.
+        return float(np.sum(mission) / n_original)
+
+    def run():
+        analyzer = analyzers[design]
+        baseline = analyzer.dataset
+        workloads = analyzer.workloads
+        netlist = analyzer.netlist
+        rng = np.random.default_rng(3)
+
+        predicted = analyzer.regressor.predict()
+        policies = {
+            "none (baseline)": [],
+            "random": list(rng.choice(baseline.node_names, budget,
+                                      replace=False)),
+            "GCN-guided": [
+                baseline.node_names[i]
+                for i in np.argsort(-predicted)[:budget]
+            ],
+            "oracle (measured)": [
+                baseline.node_names[i]
+                for i in np.argsort(-baseline.scores)[:budget]
+            ],
+        }
+        n_original = baseline.n_nodes
+        for policy, nodes in policies.items():
+            if nodes:
+                target = harden_nodes(netlist, nodes)
+                campaign = run_campaign(target, workloads)
+                dataset = dataset_from_campaign(campaign)
+            else:
+                dataset = baseline
+            rows.append({
+                "policy": policy,
+                "hardened nodes": len(nodes),
+                "mission failure probability": round(
+                    mission_failure_probability(dataset, n_original), 4
+                ),
+            })
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    artifact("ext_hardening.txt", render_table(
+        rows,
+        title=f"Extension — selective TMR hardening on {design} "
+              f"(budget {budget} nodes; rad-hard voters assumed; "
+              "failure probability over mission logic)",
+    ))
+
+    by_policy = {row["policy"]: row["mission failure probability"]
+                 for row in rows}
+    assert by_policy["GCN-guided"] < by_policy["none (baseline)"]
+    assert by_policy["GCN-guided"] < by_policy["random"]
+    # GCN guidance lands within reach of the oracle.
+    improvement_gcn = by_policy["none (baseline)"] - by_policy["GCN-guided"]
+    improvement_oracle = (by_policy["none (baseline)"]
+                          - by_policy["oracle (measured)"])
+    assert improvement_gcn >= 0.5 * improvement_oracle
+
+
+def test_fourth_design_generalization(benchmark, artifact):
+    """The framework applied to a design outside the paper's three —
+    a UART transceiver with loopback workloads — checking the GCN's
+    advantage is not specific to the tuned evaluation designs."""
+    from repro import AnalyzerConfig, FaultCriticalityAnalyzer, build_design
+    from repro.graph import stratified_split
+    from repro.models import BASELINE_NAMES, GCNClassifier, make_classifier
+
+    rows = []
+
+    def run():
+        # UART frames span 44 cycles, so workloads are longer than
+        # the default to carry enough frames for stable criticality
+        # estimates (~9 frames each).
+        analyzer = FaultCriticalityAnalyzer(
+            build_design("uart"),
+            AnalyzerConfig(seed=0, workload_cycles=400),
+        )
+        data = analyzer.data
+        accuracies = {name: [] for name in ("GCN",) + tuple(BASELINE_NAMES)}
+        for index in range(5):
+            split = stratified_split(data.y_class, 0.2,
+                                     seed=(0, "uart", index))
+            model = GCNClassifier(seed=(0, "uart-gcn", index))
+            model.fit(data, split)
+            accuracies["GCN"].append(model.accuracy(split.val_mask))
+            for name in BASELINE_NAMES:
+                baseline = make_classifier(name)
+                baseline.fit(data.x[split.train_mask],
+                             data.y_class[split.train_mask])
+                accuracies[name].append(baseline.score(
+                    data.x[split.val_mask], data.y_class[split.val_mask]
+                ))
+        row = {"design": "uart",
+               "nodes": data.n_nodes,
+               "critical": f"{data.y_class.mean():.1%}"}
+        row.update({name: f"{np.mean(values):.1%}"
+                    for name, values in accuracies.items()})
+        rows.append(row)
+        return accuracies
+
+    accuracies = benchmark.pedantic(run, rounds=1, iterations=1)
+    artifact("ext_fourth_design.txt", render_table(
+        rows, title="Extension — generalization to a fourth design "
+                    "(UART, loopback workloads, mean over 5 splits)"
+    ))
+    gcn = np.mean(accuracies["GCN"])
+    best_baseline = max(
+        np.mean(accuracies[name]) for name in BASELINE_NAMES
+    )
+    assert gcn > best_baseline  # the GCN's advantage generalizes
+
+
+def test_training_fraction_learning_curve(benchmark, analyzers,
+                                          artifact):
+    """The paper's core premise quantified: FI-label a *fraction* of
+    the design's nodes and predict the rest.  Sweeps the training
+    fraction on every design; the 80/20 operating point the paper uses
+    sits on the flat part of the curve, and even 40% labeled keeps the
+    model well above the majority class."""
+    from repro.graph import stratified_split
+    from repro.models import GCNClassifier
+
+    fractions = (0.2, 0.4, 0.6, 0.8)
+    rows = []
+
+    def run():
+        for design in DESIGNS:
+            data = analyzers[design].data
+            row = {"design": design,
+                   "majority class":
+                       f"{max(data.y_class.mean(), 1 - data.y_class.mean()):.1%}"}
+            for fraction in fractions:
+                accuracies = []
+                for index in range(3):
+                    # val_fraction = 1 - train fraction; accuracy is
+                    # always measured on the unlabeled remainder.
+                    split = stratified_split(
+                        data.y_class, 1.0 - fraction,
+                        seed=(3, "curve", fraction, index),
+                    )
+                    model = GCNClassifier(
+                        seed=(3, "curve-gcn", fraction, index)
+                    )
+                    model.fit(data, split)
+                    accuracies.append(model.accuracy(split.val_mask))
+                row[f"train {fraction:.0%}"] = (
+                    f"{np.mean(accuracies):.1%}"
+                )
+            rows.append(row)
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    artifact("ext_learning_curve.txt", render_table(
+        rows,
+        title="Extension — accuracy on unlabeled nodes vs fraction of "
+              "the design fault-injected (mean over 3 splits)",
+    ))
+
+    for row in rows:
+        majority = float(row["majority class"].rstrip("%")) / 100
+        accuracy_40 = float(row["train 40%"].rstrip("%")) / 100
+        accuracy_80 = float(row["train 80%"].rstrip("%")) / 100
+        assert accuracy_40 > majority            # subset FI pays off early
+        assert accuracy_80 >= accuracy_40 - 0.03  # more labels never hurt much

@@ -1,0 +1,67 @@
+"""Section 1/2 motivation — fault-injection cost vs ML prediction cost.
+
+The paper's premise: exhaustive FI campaigns scale poorly with design
+complexity, while a GCN trained on FI results from *part* of a design
+classifies the rest without further simulation.  This benchmark
+quantifies that trade on our substrate: per design, the wall-clock cost
+of the full campaign vs training the GCN on 80% of nodes and inferring
+the remaining 20%, plus the simulation volume a user avoids.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import DESIGNS
+from repro.models import GCNClassifier
+from repro.reporting import render_table
+
+
+def test_fi_vs_ml_cost(benchmark, analyzers, artifact):
+    rows = []
+
+    def run():
+        for design in DESIGNS:
+            analyzer = analyzers[design]
+            campaign = analyzer.campaign
+            experiments = len(campaign.faults) * campaign.n_workloads
+
+            started = time.perf_counter()
+            model = GCNClassifier(seed=(0, "cost"))
+            model.fit(analyzer.data, analyzer.split)
+            train_seconds = time.perf_counter() - started
+
+            started = time.perf_counter()
+            model.predict()
+            infer_seconds = time.perf_counter() - started
+
+            avoided = int(analyzer.split.n_val / analyzer.data.n_nodes
+                          * experiments)
+            rows.append({
+                "design": design,
+                "fault experiments": experiments,
+                "FI seconds": round(campaign.simulation_seconds, 2),
+                "exp/s": f"{experiments / campaign.simulation_seconds:,.0f}",
+                "GCN train s": round(train_seconds, 2),
+                "GCN infer s": round(infer_seconds, 4),
+                "experiments avoided (20% of design)": avoided,
+            })
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = render_table(
+        rows,
+        title="FI campaign cost vs ML prediction cost "
+              "(motivating trade of the paper)",
+    )
+    artifact("fi_vs_ml_cost.txt", table)
+
+    # Shape: inference is orders of magnitude cheaper than the campaign
+    # share it replaces.
+    for row in rows:
+        fi_per_experiment = row["FI seconds"] / row["fault experiments"]
+        avoided_cost = fi_per_experiment * row[
+            "experiments avoided (20% of design)"
+        ]
+        assert row["GCN infer s"] < avoided_cost

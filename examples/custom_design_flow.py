@@ -1,0 +1,110 @@
+"""Bring-your-own-design flow.
+
+Shows how a user applies the framework to a new design: describe it
+with the word-level :class:`CircuitBuilder` and FSM synthesizer (or
+parse an existing structural-Verilog netlist), export/import Verilog,
+and run the analyzer with generic constrained-random workloads.
+
+The demo design is a small packet-handshake engine: a receive FSM with
+a length down-counter, a checksum accumulator, and status outputs.
+
+    python examples/custom_design_flow.py
+"""
+
+from repro import AnalyzerConfig, FaultCriticalityAnalyzer
+from repro.circuits import CircuitBuilder, FsmSpec, synthesize_fsm
+from repro.circuits.library import down_timer
+from repro.netlist import from_verilog, summarize, to_verilog, validate
+from repro.reporting import render_table
+
+
+def build_packet_engine():
+    """A receive engine: WAIT -> HEADER -> PAYLOAD(len) -> CHECK."""
+    builder = CircuitBuilder("packet_engine")
+    reset = builder.input("reset")
+    valid = builder.input("valid")
+    data = builder.input_bus("data", 8)
+    last = builder.input("last")
+
+    # Payload timer: loaded from the header byte's low nibble.
+    load_length = builder.buf(reset)  # patched to the FSM below
+    timer = down_timer(builder, 4, load_value=9, load=load_length,
+                       reset=reset)
+
+    spec = FsmSpec(
+        "rx", states=["WAIT", "HEADER", "PAYLOAD", "CHECK"],
+        reset_state="WAIT",
+    )
+    spec.transition("WAIT", "HEADER", when="valid")
+    spec.transition("HEADER", "PAYLOAD", when="valid")
+    spec.transition("PAYLOAD", "CHECK", when="timer_done | last")
+    spec.transition("CHECK", "WAIT")
+    spec.moore_output("busy", states=["HEADER", "PAYLOAD", "CHECK"])
+    spec.moore_output("accept", states=["CHECK"])
+
+    fsm = synthesize_fsm(
+        spec, builder,
+        inputs={"valid": valid, "timer_done": timer.done, "last": last},
+        reset=reset, encoding="one-hot",
+    )
+    from repro.circuits.fsm import _rewire_input
+
+    _rewire_input(builder, load_length, 0,
+                  builder.and_(fsm.state_bits["HEADER"], valid))
+
+    # Checksum: XOR-accumulate payload bytes.
+    accumulate = builder.and_(fsm.state_bits["PAYLOAD"], valid)
+    checksum = []
+    for bit in range(8):
+        flop = builder.netlist.add_gate("DFFR", [reset, reset])
+        mixed = builder.xor(flop, data[bit])
+        held = builder.mux(accumulate, flop, mixed)
+        _rewire_input(builder, flop, 0, held)
+        checksum.append(flop)
+
+    builder.output(fsm.outputs["busy"], "busy")
+    builder.output(fsm.outputs["accept"], "accept")
+    builder.output_bus(checksum, "checksum")
+    builder.output_bus(timer.value, "remaining")
+    return builder.netlist
+
+
+def main() -> None:
+    design = build_packet_engine()
+    validate(design)
+    print(render_table([summarize(design).as_dict()],
+                       title="Custom design profile"))
+
+    # Round-trip through structural Verilog — the interchange format
+    # for netlists synthesized outside this framework.
+    verilog = to_verilog(design)
+    print(f"\nVerilog export: {len(verilog.splitlines())} lines "
+          f"(showing the first 8)")
+    for line in verilog.splitlines()[:8]:
+        print(f"  {line}")
+    reparsed = from_verilog(verilog)
+    validate(reparsed)
+    assert reparsed.n_gates == design.n_gates
+    print("Round-trip OK: gate-for-gate identical.")
+
+    # Unknown designs fall back to constrained-random workloads and
+    # compare every output on every cycle.  With that much
+    # observability on a tiny design, almost any stuck-at fault is
+    # functionally fatal, so this design's FuSa policy sets a high
+    # severity: only faults corrupting most cycles count as Dangerous.
+    analyzer = FaultCriticalityAnalyzer(
+        reparsed,
+        AnalyzerConfig(n_workloads=12, workload_cycles=150, seed=0,
+                       severity=0.6),
+    )
+    summary = analyzer.summary()
+    print()
+    print(render_table([summary], title="Analysis summary"))
+    print(f"\nBaselines: " + ", ".join(
+        f"{name} {accuracy:.1%}"
+        for name, accuracy in analyzer.baseline_accuracies().items()
+    ))
+
+
+if __name__ == "__main__":
+    main()

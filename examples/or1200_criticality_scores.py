@@ -1,0 +1,84 @@
+"""Node criticality-score regression on the OR1200 fetch stage (§3.4).
+
+Beyond binary Critical/Non-critical labels, the framework predicts
+*continuous* criticality scores, letting two critical nodes be
+prioritized against each other.  This example trains both GCN heads on
+the OR1200 IF module and examines their agreement — the paper reports
+over 85% conformity between the regression scores and the classifier.
+
+    python examples/or1200_criticality_scores.py
+"""
+
+import numpy as np
+
+from repro import AnalyzerConfig, FaultCriticalityAnalyzer, build_design
+from repro.metrics import pearson, spearman
+from repro.reporting import render_table
+
+
+def main() -> None:
+    analyzer = FaultCriticalityAnalyzer(
+        build_design("or1200_if"), AnalyzerConfig(seed=0)
+    )
+
+    print(f"Design: {analyzer.netlist}")
+    print(f"Classifier accuracy (held-out): "
+          f"{analyzer.validation_accuracy():.1%}")
+
+    mask = analyzer.split.val_mask
+    predicted = analyzer.regressor.predict()
+    measured = analyzer.data.y_score
+    quality = analyzer.regression_quality()
+
+    print(f"\nRegression quality on held-out nodes:")
+    print(f"  Pearson r  (predicted vs measured): "
+          f"{quality['pearson']:.3f}")
+    print(f"  Spearman r (rank agreement):        "
+          f"{spearman(predicted[mask], measured[mask]):.3f}")
+    print(f"  Conformity with classifier at 0.5:  "
+          f"{quality['conformity_with_classifier']:.1%}")
+    print(f"  Conformity with FI ground truth:    "
+          f"{quality['conformity_with_labels']:.1%}")
+
+    # Degrees of criticality among nodes the classifier calls Critical —
+    # exactly the paper's motivating scenario (0.55 vs 0.75 nodes).
+    predictions = analyzer.classifier.predict()
+    critical_validation = np.flatnonzero(mask & (predictions == 1))
+    spread = predicted[critical_validation]
+    print(f"\nAmong {len(critical_validation)} held-out nodes classified "
+          f"Critical, predicted scores span "
+          f"[{spread.min():.2f}, {spread.max():.2f}] "
+          f"(median {np.median(spread):.2f}) — the classifier alone "
+          "cannot rank these.")
+
+    order = critical_validation[np.argsort(-spread)]
+    rows = []
+    for index in list(order[:5]) + list(order[-5:]):
+        rows.append({
+            "node": analyzer.data.node_names[index],
+            "predicted score": round(float(predicted[index]), 3),
+            "measured score": round(float(measured[index]), 3),
+        })
+    print()
+    print(render_table(
+        rows, title="Most vs least critical among 'Critical' nodes"
+    ))
+
+    # Score calibration by decile.
+    bins = np.linspace(0, 1, 6)
+    rows = []
+    for low, high in zip(bins[:-1], bins[1:]):
+        members = mask & (measured >= low) & (measured < high + 1e-9)
+        if members.sum() == 0:
+            continue
+        rows.append({
+            "measured range": f"[{low:.1f}, {high:.1f})",
+            "nodes": int(members.sum()),
+            "mean predicted": round(float(predicted[members].mean()), 3),
+        })
+    print()
+    print(render_table(rows, title="Score calibration (held-out nodes)"))
+
+
+if __name__ == "__main__":
+    main()

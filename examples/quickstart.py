@@ -1,0 +1,60 @@
+"""Quickstart: end-to-end fault-criticality analysis of one design.
+
+Runs the complete Figure 2 pipeline on the OR1200 instruction-cache
+FSM — the smallest evaluation design, so the whole flow (workload
+generation, fault-injection campaign, feature extraction, GCN training,
+evaluation) finishes in well under a minute:
+
+    python examples/quickstart.py
+"""
+
+from repro import AnalyzerConfig, FaultCriticalityAnalyzer, build_design
+from repro.reporting import render_table
+
+
+def main() -> None:
+    design = build_design("or1200_icfsm")
+    print(f"Design under analysis: {design}")
+
+    analyzer = FaultCriticalityAnalyzer(design, AnalyzerConfig(seed=0))
+
+    # Stage by stage (each property computes lazily and caches):
+    print(f"\n1. Workloads: {len(analyzer.workloads)} diverse suites of "
+          f"{analyzer.workloads[0].cycles} cycles each")
+
+    campaign = analyzer.campaign
+    print(f"2. Fault injection: {len(campaign.faults)} stuck-at faults x "
+          f"{campaign.n_workloads} workloads in "
+          f"{campaign.simulation_seconds:.1f}s "
+          f"(bit-parallel, all faults per pass)")
+
+    dataset = analyzer.dataset
+    print(f"3. Algorithm 1 dataset: {dataset.n_nodes} nodes, "
+          f"{dataset.critical_fraction:.1%} Critical at threshold "
+          f"{dataset.threshold}")
+
+    print(f"4. Features: {analyzer.features.n_features} per node "
+          f"({', '.join(analyzer.features.feature_names)})")
+
+    accuracy = analyzer.validation_accuracy()
+    roc = analyzer.validation_roc()
+    print(f"5. GCN classifier: {accuracy:.1%} accuracy, "
+          f"AUC {roc.auc:.2f} on the held-out 20% of nodes")
+
+    # Most critical nodes by predicted score — the fortification list.
+    scores = analyzer.regressor.predict()
+    order = scores.argsort()[::-1][:8]
+    rows = [
+        {
+            "node": analyzer.data.node_names[index],
+            "predicted score": round(float(scores[index]), 3),
+            "ground truth": round(float(analyzer.data.y_score[index]), 3),
+        }
+        for index in order
+    ]
+    print()
+    print(render_table(rows, title="Top predicted-critical nodes"))
+
+
+if __name__ == "__main__":
+    main()

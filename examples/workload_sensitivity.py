@@ -1,0 +1,86 @@
+"""Workload sensitivity of node criticality (the paper's premise).
+
+Criticality is not intrinsic to a gate — it depends on how the
+application exercises the design.  This example runs separate
+single-profile campaigns on the SDRAM controller (read-only streaming,
+write-only bursts, idle/refresh-only) and shows nodes whose criticality
+swings with the workload mix, plus the statistical confidence the
+campaign gives each score.
+
+    python examples/workload_sensitivity.py
+"""
+
+import numpy as np
+
+from repro import build_design
+from repro.fi import dataset_from_campaign, run_campaign
+from repro.reporting import render_table
+from repro.sim import sdram_workload
+
+
+def profile_campaign(design, profile_name, **kwargs):
+    workloads = [
+        sdram_workload(design, cycles=200, seed=(profile_name, index),
+                       name=f"{profile_name}[{index}]", **kwargs)
+        for index in range(8)
+    ]
+    campaign = run_campaign(design, workloads)
+    return dataset_from_campaign(campaign)
+
+
+def main() -> None:
+    design = build_design("sdram")
+    print(f"{design}\nRunning three single-profile campaigns...")
+
+    profiles = {
+        "read-only": dict(request_rate=0.6, write_fraction=0.0),
+        "write-only": dict(request_rate=0.6, write_fraction=1.0),
+        "idle/refresh": dict(request_rate=0.0, write_fraction=0.0),
+    }
+    datasets = {
+        name: profile_campaign(design, name, **kwargs)
+        for name, kwargs in profiles.items()
+    }
+
+    names = datasets["read-only"].node_names
+    scores = np.column_stack(
+        [datasets[profile].scores for profile in profiles]
+    )
+    swing = scores.max(axis=1) - scores.min(axis=1)
+
+    # Nodes whose criticality depends most on the application.
+    order = np.argsort(-swing)[:12]
+    rows = []
+    for index in order:
+        row = {"node": names[index]}
+        for position, profile in enumerate(profiles):
+            row[profile] = round(float(scores[index, position]), 2)
+        row["swing"] = round(float(swing[index]), 2)
+        rows.append(row)
+    print()
+    print(render_table(
+        rows, title="Most workload-sensitive nodes "
+                    "(criticality per application profile)",
+    ))
+
+    # Aggregate view: how much of the design is mode-dependent?
+    stable_critical = int(((scores >= 0.5).all(axis=1)).sum())
+    stable_benign = int(((scores < 0.5).all(axis=1)).sum())
+    mode_dependent = len(names) - stable_critical - stable_benign
+    print(f"\nOf {len(names)} nodes: {stable_critical} critical under "
+          f"every profile, {stable_benign} benign under every profile, "
+          f"{mode_dependent} switch with the application mix — the "
+          "reason Algorithm 1 aggregates over diverse workloads.")
+
+    # Statistical confidence on the aggregated scores.
+    read_only = datasets["read-only"]
+    low, high = read_only.confidence_intervals(0.95)
+    widths = high - low
+    print(f"\n95% Wilson interval width on 8-workload scores: "
+          f"mean {widths.mean():.2f}, max {widths.max():.2f} — "
+          "doubling the suite narrows these (see "
+          "CriticalityDataset.confidence_intervals).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim: lets `pip install -e .` work on environments
+whose setuptools predates PEP 660 editable wheels (no `wheel` pkg)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,277 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+    designs                       list the built-in evaluation designs
+    analyze DESIGN                run the full Figure 2 pipeline
+    campaign DESIGN               run only the FI campaign
+    explain DESIGN [NODE ...]     GNNExplainer interpretations
+    verilog DESIGN                export a design as structural Verilog
+    reset-check DESIGN            3-valued reset verification
+    optimize DESIGN               constant folding + dead-code stats
+    harden DESIGN                 GCN-guided selective TMR report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import AnalyzerConfig, FaultCriticalityAnalyzer, build_design
+from repro.netlist import summarize, to_verilog
+from repro.reporting import bar_chart, render_table
+
+DESIGN_CHOICES = ("sdram", "or1200_if", "or1200_icfsm", "uart")
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("design", choices=DESIGN_CHOICES)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workloads", type=int, default=16,
+                        help="number of workloads in the FI suite")
+    parser.add_argument("--cycles", type=int, default=200,
+                        help="cycles per workload")
+
+
+def _make_analyzer(args) -> FaultCriticalityAnalyzer:
+    config = AnalyzerConfig(
+        seed=args.seed, n_workloads=args.workloads,
+        workload_cycles=args.cycles,
+    )
+    return FaultCriticalityAnalyzer(build_design(args.design), config)
+
+
+def cmd_designs(_args) -> int:
+    rows = [
+        summarize(build_design(name)).as_dict()
+        for name in DESIGN_CHOICES
+    ]
+    print(render_table(rows, title="Built-in evaluation designs"))
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    analyzer = _make_analyzer(args)
+    print(render_table([analyzer.summary()], title="Analysis summary"))
+    accuracies = {"GCN": analyzer.validation_accuracy()}
+    accuracies.update(analyzer.baseline_accuracies())
+    print()
+    print(bar_chart(accuracies,
+                    title="Validation accuracy (GCN vs baselines)"))
+    quality = analyzer.regression_quality()
+    print("\nCriticality-score regression:")
+    for key, value in quality.items():
+        print(f"  {key}: {value:.3f}")
+    if args.save_campaign:
+        from repro.io import save_campaign
+
+        save_campaign(analyzer.campaign, args.save_campaign)
+        print(f"\ncampaign written to {args.save_campaign}")
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    from repro.fi import dataset_from_campaign, format_report, run_campaign
+    from repro.sim import design_workloads
+
+    design = build_design(args.design)
+    workloads = design_workloads(design.name, design,
+                                 count=args.workloads,
+                                 cycles=args.cycles, seed=args.seed)
+    campaign = run_campaign(design, workloads, collapse=args.collapse)
+    experiments = len(campaign.faults) * campaign.n_workloads
+    print(f"{experiments} fault-experiments in "
+          f"{campaign.simulation_seconds:.1f}s")
+    print()
+    print(format_report(
+        campaign.workload_report(campaign.workload_names[0]), limit=8
+    ))
+    dataset = dataset_from_campaign(campaign)
+    print(f"\nAlgorithm 1: {dataset.n_nodes} nodes, "
+          f"{dataset.critical_fraction:.1%} Critical at threshold "
+          f"{dataset.threshold}")
+    if args.out:
+        from repro.io import save_campaign
+
+        save_campaign(campaign, args.out)
+        print(f"campaign written to {args.out}")
+    return 0
+
+
+def cmd_explain(args) -> int:
+    analyzer = _make_analyzer(args)
+    nodes = args.nodes
+    if not nodes:
+        import numpy as np
+
+        validation = np.flatnonzero(analyzer.split.val_mask)[:3]
+        nodes = [analyzer.data.node_names[int(i)] for i in validation]
+    for report in analyzer.node_report(list(nodes)):
+        print(render_table([report.as_row()],
+                           title=f"Node {report.node_name}"))
+    return 0
+
+
+def cmd_reset_check(args) -> int:
+    from repro.sim import reset_analysis
+
+    design = build_design(args.design)
+    idle = {"rxd": 1} if args.design == "uart" else None
+    report = reset_analysis(design, settle_cycles=args.settle,
+                            idle_inputs=idle)
+    print(f"{design.name}: resettable={report.resettable}")
+    control = [name for name in report.unknown_flops
+               if not name.startswith("DFFE")]
+    print(f"  unknown control flops: {len(control)}")
+    print(f"  unknown data registers (enable-only): "
+          f"{len(report.unknown_flops) - len(control)}")
+    if report.unknown_outputs:
+        print(f"  outputs unknown until first use: "
+              f"{', '.join(report.unknown_outputs[:8])}"
+              + (" ..." if len(report.unknown_outputs) > 8 else ""))
+    return 0 if not control else 1
+
+
+def cmd_optimize(args) -> int:
+    from repro.netlist import check_equivalence
+    from repro.netlist.optimize import optimize_netlist
+
+    design = build_design(args.design)
+    optimized, report = optimize_netlist(design)
+    print(f"{design.name}: {report.gates_before} -> "
+          f"{report.gates_after} gates "
+          f"({report.gates_removed} removed)")
+    if report.folded_constants:
+        print(f"  folded constants: "
+              f"{', '.join(report.folded_constants[:6])}")
+    if report.removed_dead:
+        print(f"  dead gates: {', '.join(report.removed_dead[:6])}"
+              + (" ..." if len(report.removed_dead) > 6 else ""))
+    result = check_equivalence(design, optimized, workloads=3,
+                               cycles=60)
+    print(f"  equivalence check: "
+          f"{'PASS' if result.equivalent else 'FAIL'}")
+    if args.out:
+        from repro.netlist import write_verilog
+
+        write_verilog(optimized, args.out)
+        print(f"  optimized netlist -> {args.out}")
+    return 0 if result.equivalent else 1
+
+
+def cmd_harden(args) -> int:
+    import numpy as np
+
+    from repro.fi import dataset_from_campaign, run_campaign
+    from repro.netlist.transform import harden_nodes
+
+    analyzer = _make_analyzer(args)
+    baseline = analyzer.dataset
+    predicted = analyzer.regressor.predict()
+    chosen = [
+        baseline.node_names[i]
+        for i in np.argsort(-predicted)[:args.budget]
+    ]
+    print(f"Hardening {len(chosen)} GCN-selected nodes: "
+          f"{', '.join(chosen[:6])} ...")
+    protected = harden_nodes(analyzer.netlist, chosen)
+    campaign = run_campaign(protected, analyzer.workloads)
+    after = dataset_from_campaign(campaign)
+    mission = [
+        score for name, score in zip(after.node_names, after.scores)
+        if "tmr_" not in name or name.endswith(("_r1", "_r2"))
+    ]
+    before_probability = float(baseline.scores.mean())
+    after_probability = float(np.sum(mission) / baseline.n_nodes)
+    print(f"mission failure probability: {before_probability:.4f} -> "
+          f"{after_probability:.4f}")
+    if args.out:
+        from repro.netlist import write_verilog
+
+        write_verilog(protected, args.out)
+        print(f"hardened netlist -> {args.out}")
+    return 0
+
+
+def cmd_verilog(args) -> int:
+    design = build_design(args.design)
+    text = to_verilog(design)
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"{design.name}: {len(text.splitlines())} lines -> "
+              f"{args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Graph learning-based fault criticality analysis "
+                    "(DAC 2024 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("designs", help="list built-in designs")
+
+    analyze = commands.add_parser("analyze", help="full pipeline")
+    _add_common(analyze)
+    analyze.add_argument("--save-campaign", metavar="FILE.npz",
+                         help="persist the FI campaign result")
+
+    campaign = commands.add_parser("campaign", help="FI campaign only")
+    _add_common(campaign)
+    campaign.add_argument("--collapse", action="store_true",
+                          help="collapse equivalent faults")
+    campaign.add_argument("--out", metavar="FILE.npz",
+                          help="persist the campaign result")
+
+    explain = commands.add_parser("explain",
+                                  help="per-node explanations")
+    _add_common(explain)
+    explain.add_argument("nodes", nargs="*", metavar="NODE",
+                         help="node names (default: 3 held-out nodes)")
+
+    verilog = commands.add_parser("verilog",
+                                  help="export structural Verilog")
+    verilog.add_argument("design", choices=DESIGN_CHOICES)
+    verilog.add_argument("--out", metavar="FILE.v")
+
+    reset_check = commands.add_parser(
+        "reset-check", help="3-valued reset verification"
+    )
+    reset_check.add_argument("design", choices=DESIGN_CHOICES)
+    reset_check.add_argument("--settle", type=int, default=6)
+
+    optimize = commands.add_parser(
+        "optimize", help="constant folding + dead-code elimination"
+    )
+    optimize.add_argument("design", choices=DESIGN_CHOICES)
+    optimize.add_argument("--out", metavar="FILE.v")
+
+    harden = commands.add_parser(
+        "harden", help="GCN-guided selective TMR"
+    )
+    _add_common(harden)
+    harden.add_argument("--budget", type=int, default=16,
+                        help="number of nodes to harden")
+    harden.add_argument("--out", metavar="FILE.v")
+
+    args = parser.parse_args(argv)
+    handler = {
+        "designs": cmd_designs,
+        "analyze": cmd_analyze,
+        "campaign": cmd_campaign,
+        "explain": cmd_explain,
+        "verilog": cmd_verilog,
+        "reset-check": cmd_reset_check,
+        "optimize": cmd_optimize,
+        "harden": cmd_harden,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

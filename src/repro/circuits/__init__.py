@@ -1,0 +1,63 @@
+"""Design generators: the RTL-to-gates substrate, the paper's three
+evaluation designs (SDRAM controller, OR1200 IF, OR1200 ICFSM), and
+the additional UART validation subject."""
+
+from repro.circuits.builder import Bus, CircuitBuilder
+from repro.circuits.fsm import FsmInstance, FsmSpec, parse_guard, synthesize_fsm
+from repro.circuits.library import (
+    CounterPorts,
+    FifoPorts,
+    fifo_controller,
+    TimerPorts,
+    down_timer,
+    lfsr,
+    shift_register,
+    up_counter,
+)
+from repro.circuits.or1200_icfsm import build_or1200_icfsm
+from repro.circuits.or1200_if import build_or1200_if
+from repro.circuits.random_circuits import random_netlist
+from repro.circuits.sdram import build_sdram_controller
+from repro.circuits.uart import build_uart
+
+__all__ = [
+    "Bus",
+    "CircuitBuilder",
+    "FsmInstance",
+    "FsmSpec",
+    "parse_guard",
+    "synthesize_fsm",
+    "CounterPorts",
+    "FifoPorts",
+    "fifo_controller",
+    "TimerPorts",
+    "down_timer",
+    "lfsr",
+    "shift_register",
+    "up_counter",
+    "build_or1200_icfsm",
+    "build_or1200_if",
+    "random_netlist",
+    "build_sdram_controller",
+    "build_uart",
+]
+
+
+def build_design(name: str, **kwargs):
+    """Build a bundled design by short name.
+
+    Accepted names: ``"sdram"``, ``"or1200_if"``, ``"or1200_icfsm"``
+    (the paper's three evaluation designs) and ``"uart"`` (the
+    additional validation subject).
+    """
+    builders = {
+        "sdram": build_sdram_controller,
+        "or1200_if": build_or1200_if,
+        "or1200_icfsm": build_or1200_icfsm,
+        "uart": build_uart,
+    }
+    if name not in builders:
+        raise KeyError(
+            f"unknown design {name!r}; choose from {sorted(builders)}"
+        )
+    return builders[name](**kwargs)

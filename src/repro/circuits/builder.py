@@ -1,0 +1,320 @@
+"""Word-level circuit builder.
+
+:class:`CircuitBuilder` plays the role of the RTL-to-gate synthesis
+step in the paper's flow (Synopsys Design Vision): designs are described
+with word-level operations (buses, muxes, adders, comparators,
+registers) and elaborated directly into gates over the
+:mod:`repro.netlist.cells` library.
+
+A *bus* is a plain list of net indices, least-significant bit first.
+All operations return new nets; the builder never mutates an existing
+bus in place.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.netlist.netlist import Netlist
+from repro.utils.errors import NetlistError
+
+Bus = List[int]
+
+
+class CircuitBuilder:
+    """Builds a :class:`~repro.netlist.netlist.Netlist` from word-level
+    operations.
+
+    >>> builder = CircuitBuilder("adder4")
+    >>> a = builder.input_bus("a", 4)
+    >>> b = builder.input_bus("b", 4)
+    >>> total, carry = builder.add(a, b)
+    >>> builder.output_bus(total, "sum")
+    >>> builder.output(carry, "carry")
+    >>> builder.netlist.n_gates > 0
+    True
+    """
+
+    def __init__(self, name: str):
+        self.netlist = Netlist(name)
+
+    # ------------------------------------------------------------------
+    # ports and constants
+    # ------------------------------------------------------------------
+    def input(self, name: str) -> int:
+        """Declare a 1-bit primary input."""
+        return self.netlist.add_input(name)
+
+    def input_bus(self, name: str, width: int) -> Bus:
+        """Declare a ``width``-bit input bus named ``name_0 .. name_{w-1}``."""
+        return [self.netlist.add_input(f"{name}_{i}") for i in range(width)]
+
+    def output(self, net: int, name: str) -> None:
+        """Export a 1-bit primary output."""
+        self.netlist.add_output(net, name)
+
+    def output_bus(self, bus: Bus, name: str) -> None:
+        """Export every bit of ``bus`` as ``name_0 .. name_{w-1}``."""
+        for index, net in enumerate(bus):
+            self.netlist.add_output(net, f"{name}_{index}")
+
+    def const0(self) -> int:
+        """A constant-0 net (one shared TIE0 per netlist)."""
+        if not hasattr(self, "_const0"):
+            self._const0 = self.netlist.add_gate("TIE0", [])
+        return self._const0
+
+    def const1(self) -> int:
+        """A constant-1 net (one shared TIE1 per netlist)."""
+        if not hasattr(self, "_const1"):
+            self._const1 = self.netlist.add_gate("TIE1", [])
+        return self._const1
+
+    def constant(self, value: int, width: int) -> Bus:
+        """A ``width``-bit constant bus holding ``value``."""
+        if value < 0 or value >= (1 << width):
+            raise NetlistError(f"constant {value} does not fit in {width} bits")
+        return [
+            self.const1() if (value >> i) & 1 else self.const0()
+            for i in range(width)
+        ]
+
+    # ------------------------------------------------------------------
+    # bitwise primitives
+    # ------------------------------------------------------------------
+    def not_(self, net: int) -> int:
+        return self.netlist.add_gate("IV", [net])
+
+    def buf(self, net: int) -> int:
+        return self.netlist.add_gate("BUF", [net])
+
+    def _gate2plus(self, base: str, nets: Sequence[int]) -> int:
+        """N-ary gate built as a tree of 2-4 input library cells."""
+        nets = list(nets)
+        if not nets:
+            raise NetlistError(f"{base} of zero nets")
+        if len(nets) == 1:
+            return nets[0]
+        while len(nets) > 1:
+            grouped: List[int] = []
+            index = 0
+            while index < len(nets):
+                chunk = nets[index:index + 4]
+                index += 4
+                if len(chunk) == 1:
+                    grouped.append(chunk[0])
+                else:
+                    grouped.append(
+                        self.netlist.add_gate(f"{base}{len(chunk)}", chunk)
+                    )
+            nets = grouped
+        return nets[0]
+
+    def and_(self, *nets: int) -> int:
+        """AND of any number of nets (tree of AN2-AN4)."""
+        return self._gate2plus("AN", self._flatten(nets))
+
+    def or_(self, *nets: int) -> int:
+        """OR of any number of nets (tree of OR2-OR4)."""
+        return self._gate2plus("OR", self._flatten(nets))
+
+    def nand(self, *nets: int) -> int:
+        """NAND of 2-4 nets (single ND cell) or inverted AND tree."""
+        nets_list = self._flatten(nets)
+        if 2 <= len(nets_list) <= 4:
+            return self.netlist.add_gate(f"ND{len(nets_list)}", nets_list)
+        return self.not_(self.and_(*nets_list))
+
+    def nor(self, *nets: int) -> int:
+        """NOR of 2-4 nets (single NR cell) or inverted OR tree."""
+        nets_list = self._flatten(nets)
+        if 2 <= len(nets_list) <= 4:
+            return self.netlist.add_gate(f"NR{len(nets_list)}", nets_list)
+        return self.not_(self.or_(*nets_list))
+
+    def xor(self, a: int, b: int) -> int:
+        return self.netlist.add_gate("XOR2", [a, b])
+
+    def xnor(self, a: int, b: int) -> int:
+        return self.netlist.add_gate("XNR2", [a, b])
+
+    def aoi22(self, a: int, b: int, c: int, d: int) -> int:
+        """~((a & b) | (c & d)) as a single complex cell."""
+        return self.netlist.add_gate("AO2", [a, b, c, d])
+
+    def aoi21(self, a: int, b: int, c: int) -> int:
+        """~((a & b) | c) as a single complex cell."""
+        return self.netlist.add_gate("AO3", [a, b, c])
+
+    def oai22(self, a: int, b: int, c: int, d: int) -> int:
+        """~((a | b) & (c | d)) as a single complex cell."""
+        return self.netlist.add_gate("OA2", [a, b, c, d])
+
+    def oai21(self, a: int, b: int, c: int) -> int:
+        """~((a | b) & c) as a single complex cell."""
+        return self.netlist.add_gate("OA3", [a, b, c])
+
+    def mux(self, select: int, when0: int, when1: int) -> int:
+        """1-bit 2:1 mux: ``select ? when1 : when0``."""
+        return self.netlist.add_gate("MUX2", [when0, when1, select])
+
+    @staticmethod
+    def _flatten(nets: Sequence) -> List[int]:
+        flat: List[int] = []
+        for net in nets:
+            if isinstance(net, (list, tuple)):
+                flat.extend(net)
+            else:
+                flat.append(net)
+        return flat
+
+    # ------------------------------------------------------------------
+    # word-level operators
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_same_width(a: Bus, b: Bus) -> None:
+        if len(a) != len(b):
+            raise NetlistError(f"bus width mismatch: {len(a)} vs {len(b)}")
+
+    def bnot(self, bus: Bus) -> Bus:
+        return [self.not_(net) for net in bus]
+
+    def band(self, a: Bus, b: Bus) -> Bus:
+        self._check_same_width(a, b)
+        return [self.and_(x, y) for x, y in zip(a, b)]
+
+    def bor(self, a: Bus, b: Bus) -> Bus:
+        self._check_same_width(a, b)
+        return [self.or_(x, y) for x, y in zip(a, b)]
+
+    def bxor(self, a: Bus, b: Bus) -> Bus:
+        self._check_same_width(a, b)
+        return [self.xor(x, y) for x, y in zip(a, b)]
+
+    def bmux(self, select: int, when0: Bus, when1: Bus) -> Bus:
+        """Word-level 2:1 mux."""
+        self._check_same_width(when0, when1)
+        return [self.mux(select, x, y) for x, y in zip(when0, when1)]
+
+    def bmux_many(self, selects: Sequence[int], words: Sequence[Bus]) -> Bus:
+        """One-hot mux: ``words[i]`` when ``selects[i]`` is high.
+
+        Built as an AND-OR network; exactly one select is expected high.
+        """
+        if len(selects) != len(words):
+            raise NetlistError("bmux_many: selects/words length mismatch")
+        if not words:
+            raise NetlistError("bmux_many: empty mux")
+        width = len(words[0])
+        out: Bus = []
+        for bit in range(width):
+            terms = [
+                self.and_(select, word[bit])
+                for select, word in zip(selects, words)
+            ]
+            out.append(self.or_(*terms) if len(terms) > 1 else terms[0])
+        return out
+
+    def add(self, a: Bus, b: Bus, carry_in: Optional[int] = None,
+            carry_out: bool = True):
+        """Ripple-carry adder; returns ``(sum_bus, carry_out_net)``.
+
+        Carries are built from AOI22 complex cells
+        (``carry = ~AOI22(a, b, carry, a^b)``), matching how a technology
+        mapper covers a full adder's majority function.  With
+        ``carry_out=False`` the final carry gate is not built (avoiding
+        dangling logic) and ``None`` is returned in its place.
+        """
+        self._check_same_width(a, b)
+        carry = carry_in if carry_in is not None else self.const0()
+        total: Bus = []
+        last = len(a) - 1
+        for position, (x, y) in enumerate(zip(a, b)):
+            propagate = self.xor(x, y)
+            total.append(self.xor(propagate, carry))
+            if position < last or carry_out:
+                carry = self.not_(self.aoi22(x, y, carry, propagate))
+        return total, (carry if carry_out else None)
+
+    def increment(self, bus: Bus, enable: Optional[int] = None,
+                  carry_out: bool = True):
+        """``bus + 1`` (or ``+ enable``); returns ``(sum_bus, carry_out_net)``.
+
+        With ``carry_out=False`` the final carry gate is skipped and
+        ``None`` is returned in its place.
+        """
+        carry = enable if enable is not None else self.const1()
+        total: Bus = []
+        last = len(bus) - 1
+        for position, net in enumerate(bus):
+            total.append(self.xor(net, carry))
+            if position < last or carry_out:
+                carry = self.and_(net, carry)
+        return total, (carry if carry_out else None)
+
+    def equals_const(self, bus: Bus, value: int) -> int:
+        """1 when ``bus`` holds the constant ``value``."""
+        if value < 0 or value >= (1 << len(bus)):
+            raise NetlistError(f"{value} does not fit in {len(bus)} bits")
+        literals = [
+            net if (value >> i) & 1 else self.not_(net)
+            for i, net in enumerate(bus)
+        ]
+        return self.and_(*literals) if len(literals) > 1 else literals[0]
+
+    def equals(self, a: Bus, b: Bus) -> int:
+        """1 when buses ``a`` and ``b`` are bit-for-bit equal."""
+        self._check_same_width(a, b)
+        matches = [self.xnor(x, y) for x, y in zip(a, b)]
+        return self.and_(*matches) if len(matches) > 1 else matches[0]
+
+    def is_zero(self, bus: Bus) -> int:
+        """1 when every bit of ``bus`` is 0."""
+        return self.nor(*bus) if len(bus) > 1 else self.not_(bus[0])
+
+    def decode(self, bus: Bus, count: Optional[int] = None) -> Bus:
+        """Binary decoder: output ``i`` is high when ``bus == i``."""
+        total = count if count is not None else (1 << len(bus))
+        if total > (1 << len(bus)):
+            raise NetlistError("decode: count exceeds address space")
+        return [self.equals_const(bus, value) for value in range(total)]
+
+    # ------------------------------------------------------------------
+    # state elements
+    # ------------------------------------------------------------------
+    def dff(self, data: int, instance: Optional[str] = None) -> int:
+        """Plain D flip-flop."""
+        return self.netlist.add_gate("DFF", [data], instance=instance)
+
+    def dffr(self, data: int, reset: int, instance: Optional[str] = None) -> int:
+        """D flip-flop with synchronous reset-to-0."""
+        return self.netlist.add_gate("DFFR", [data, reset], instance=instance)
+
+    def dffe(self, data: int, enable: int, instance: Optional[str] = None) -> int:
+        """D flip-flop with clock-enable (holds value when enable=0)."""
+        return self.netlist.add_gate("DFFE", [data, enable], instance=instance)
+
+    def register(
+        self,
+        data: Bus,
+        reset: Optional[int] = None,
+        enable: Optional[int] = None,
+    ) -> Bus:
+        """Word register with optional synchronous reset and enable.
+
+        With both reset and enable, reset wins (``reset`` clears even
+        when ``enable`` is low), matching conventional RTL priority.
+        """
+        out: Bus = []
+        for net in data:
+            if reset is not None and enable is not None:
+                gated = self.and_(net, self.not_(reset))
+                load = self.or_(enable, reset)
+                out.append(self.dffe(gated, load))
+            elif reset is not None:
+                out.append(self.dffr(net, reset))
+            elif enable is not None:
+                out.append(self.dffe(net, enable))
+            else:
+                out.append(self.dff(net))
+        return out

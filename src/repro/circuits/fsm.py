@@ -1,0 +1,436 @@
+"""Finite-state-machine synthesis.
+
+The two OR1200 modules and the SDRAM controller are control-dominated
+designs; this module provides the synthesis path from a symbolic FSM
+specification (states, guarded transitions, Moore/Mealy outputs) to
+gates, supporting both one-hot and binary state encodings.
+
+Transition guards are boolean expressions over the FSM's condition
+inputs, written in a tiny Verilog-like language::
+
+    req & ~refresh_due | timeout
+
+with operators ``~`` (not), ``&`` (and), ``|`` (or) and parentheses.
+Guards declared earlier on the same source state take priority, exactly
+like an RTL ``if/else if`` chain, so later guards need not be mutually
+exclusive with earlier ones.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuits.builder import Bus, CircuitBuilder
+from repro.utils.errors import NetlistError
+
+
+# ----------------------------------------------------------------------
+# guard expression parser
+# ----------------------------------------------------------------------
+_TOKEN_RE = re.compile(r"\s*([A-Za-z_][A-Za-z0-9_]*|[~&|()])")
+
+
+class _Parser:
+    """Recursive-descent parser building gates for a guard expression."""
+
+    def __init__(self, text: str, builder: CircuitBuilder,
+                 signals: Dict[str, int]):
+        self.tokens = self._tokenize(text)
+        self.position = 0
+        self.builder = builder
+        self.signals = signals
+        self.text = text
+
+    @staticmethod
+    def _tokenize(text: str) -> List[str]:
+        tokens: List[str] = []
+        position = 0
+        while position < len(text):
+            match = _TOKEN_RE.match(text, position)
+            if not match:
+                if text[position:].strip():
+                    raise NetlistError(
+                        f"bad guard syntax near {text[position:]!r}"
+                    )
+                break
+            tokens.append(match.group(1))
+            position = match.end()
+        return tokens
+
+    def _peek(self) -> Optional[str]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def _take(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise NetlistError(f"unexpected end of guard {self.text!r}")
+        self.position += 1
+        return token
+
+    def parse(self) -> int:
+        net = self._expr()
+        if self._peek() is not None:
+            raise NetlistError(
+                f"trailing tokens in guard {self.text!r}: {self._peek()!r}"
+            )
+        return net
+
+    def _expr(self) -> int:
+        terms = [self._term()]
+        while self._peek() == "|":
+            self._take()
+            terms.append(self._term())
+        return self.builder.or_(*terms) if len(terms) > 1 else terms[0]
+
+    def _term(self) -> int:
+        factors = [self._factor()]
+        while self._peek() == "&":
+            self._take()
+            factors.append(self._factor())
+        return (
+            self.builder.and_(*factors) if len(factors) > 1 else factors[0]
+        )
+
+    def _factor(self) -> int:
+        token = self._take()
+        if token == "~":
+            return self.builder.not_(self._factor())
+        if token == "(":
+            net = self._expr()
+            if self._take() != ")":
+                raise NetlistError(f"missing ')' in guard {self.text!r}")
+            return net
+        if token in self.signals:
+            return self.signals[token]
+        raise NetlistError(
+            f"unknown signal {token!r} in guard {self.text!r}; "
+            f"known: {sorted(self.signals)}"
+        )
+
+
+def parse_guard(text: str, builder: CircuitBuilder,
+                signals: Dict[str, int]) -> int:
+    """Elaborate guard expression ``text`` into gates; returns the net."""
+    return _Parser(text, builder, signals).parse()
+
+
+# ----------------------------------------------------------------------
+# FSM specification
+# ----------------------------------------------------------------------
+@dataclass
+class _Transition:
+    source: str
+    destination: str
+    guard: Optional[str]  # None = default ("otherwise") transition
+
+
+@dataclass
+class FsmSpec:
+    """Symbolic FSM description.
+
+    >>> spec = FsmSpec("demo", states=["IDLE", "RUN"], reset_state="IDLE")
+    >>> spec.transition("IDLE", "RUN", when="go")
+    >>> spec.transition("RUN", "IDLE", when="done")
+    >>> spec.moore_output("busy", states=["RUN"])
+    """
+
+    name: str
+    states: List[str]
+    reset_state: str
+    transitions: List[_Transition] = field(default_factory=list)
+    moore_outputs: Dict[str, List[str]] = field(default_factory=dict)
+    mealy_outputs: Dict[str, List[Tuple[str, str]]] = field(
+        default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        if len(set(self.states)) != len(self.states):
+            raise NetlistError(f"FSM {self.name}: duplicate state names")
+        if self.reset_state not in self.states:
+            raise NetlistError(
+                f"FSM {self.name}: reset state {self.reset_state!r} "
+                "not in state list"
+            )
+
+    def _check_state(self, state: str) -> None:
+        if state not in self.states:
+            raise NetlistError(
+                f"FSM {self.name}: unknown state {state!r}"
+            )
+
+    def transition(self, source: str, destination: str,
+                   when: Optional[str] = None) -> None:
+        """Add a guarded transition.
+
+        ``when=None`` marks the default transition taken when no guard
+        on ``source`` matches.  Without a default, the FSM stays in
+        ``source``.
+        """
+        self._check_state(source)
+        self._check_state(destination)
+        if when is None:
+            defaults = [
+                t for t in self.transitions
+                if t.source == source and t.guard is None
+            ]
+            if defaults:
+                raise NetlistError(
+                    f"FSM {self.name}: state {source} already has a "
+                    "default transition"
+                )
+        self.transitions.append(_Transition(source, destination, when))
+
+    def moore_output(self, name: str, states: Sequence[str]) -> None:
+        """Output asserted exactly in the listed states."""
+        for state in states:
+            self._check_state(state)
+        self.moore_outputs[name] = list(states)
+
+    def mealy_output(self, name: str,
+                     terms: Sequence[Tuple[str, str]]) -> None:
+        """Output asserted when (in state, guard true) for any term."""
+        for state, _ in terms:
+            self._check_state(state)
+        self.mealy_outputs[name] = list(terms)
+
+
+@dataclass
+class FsmInstance:
+    """Result of synthesizing an :class:`FsmSpec`.
+
+    Attributes:
+        state_bits: Current-state indicator net per state name (one-hot
+            decoded view, valid for both encodings).
+        outputs: Net per declared Moore/Mealy output.
+        state_register: The raw state register nets (one-hot bits or
+            binary code bits depending on encoding).
+    """
+
+    spec: FsmSpec
+    state_bits: Dict[str, int]
+    outputs: Dict[str, int]
+    state_register: Bus
+
+
+def synthesize_fsm(
+    spec: FsmSpec,
+    builder: CircuitBuilder,
+    inputs: Dict[str, int],
+    reset: int,
+    encoding: str = "one-hot",
+) -> FsmInstance:
+    """Elaborate ``spec`` into gates inside ``builder``.
+
+    Args:
+        spec: The FSM description.
+        builder: Target circuit builder.
+        inputs: Condition signals visible to guards.
+        reset: Synchronous reset net (restores ``spec.reset_state``).
+        encoding: ``"one-hot"`` or ``"binary"``.
+
+    Returns:
+        An :class:`FsmInstance` with per-state indicator nets and outputs.
+    """
+    if encoding not in ("one-hot", "binary"):
+        raise NetlistError(f"unknown FSM encoding {encoding!r}")
+
+    n_states = len(spec.states)
+    state_index = {state: i for i, state in enumerate(spec.states)}
+
+    # --- current-state indicator nets (filled below per encoding) ------
+    if encoding == "one-hot":
+        current = _onehot_state_register_placeholder(builder, spec, reset)
+    else:
+        current = _binary_state_register_placeholder(builder, spec, reset)
+
+    # The placeholder helpers return (indicator_nets, commit) where
+    # commit(next_onehot) wires the next-state logic into the register.
+    indicators, commit, register_bits = current
+
+    # --- next-state one-hot computation --------------------------------
+    # Per source state, apply guard priority: effective_i = g_i & ~g_<i.
+    arriving: Dict[str, List[int]] = {state: [] for state in spec.states}
+    for source in spec.states:
+        outgoing = [t for t in spec.transitions if t.source == source]
+        guarded = [t for t in outgoing if t.guard is not None]
+        defaults = [t for t in outgoing if t.guard is None]
+        source_net = indicators[source]
+
+        blocked: Optional[int] = None  # OR of earlier guards
+        guard_nets: List[int] = []
+        for transition in guarded:
+            raw = parse_guard(transition.guard, builder, inputs)
+            effective = (
+                raw if blocked is None
+                else builder.and_(raw, builder.not_(blocked))
+            )
+            arriving[transition.destination].append(
+                builder.and_(source_net, effective)
+            )
+            guard_nets.append(raw)
+            blocked = raw if blocked is None else builder.or_(blocked, raw)
+
+        otherwise_target = defaults[0].destination if defaults else source
+        if blocked is None:
+            arriving[otherwise_target].append(source_net)
+        else:
+            arriving[otherwise_target].append(
+                builder.and_(source_net, builder.not_(blocked))
+            )
+
+    commit(arriving)
+
+    # --- outputs --------------------------------------------------------
+    outputs: Dict[str, int] = {}
+    for name, states in spec.moore_outputs.items():
+        nets = [indicators[state] for state in states]
+        outputs[name] = builder.or_(*nets) if len(nets) > 1 else nets[0]
+    for name, terms in spec.mealy_outputs.items():
+        nets = [
+            builder.and_(indicators[state],
+                         parse_guard(guard, builder, inputs))
+            for state, guard in terms
+        ]
+        outputs[name] = builder.or_(*nets) if len(nets) > 1 else nets[0]
+
+    return FsmInstance(
+        spec=spec,
+        state_bits=dict(indicators),
+        outputs=outputs,
+        state_register=register_bits,
+    )
+
+
+def _onehot_state_register_placeholder(builder: CircuitBuilder,
+                                       spec: FsmSpec, reset: int):
+    """One-hot register built with forward-referenced next-state nets.
+
+    Because flop inputs must exist before ``add_gate`` is called, the
+    register is created by buffering placeholder nets; we instead build
+    it in two steps using DFFE's feedback-free cousins: here we create
+    the flops *after* next-state logic by returning a commit callback,
+    and expose the *current* state via the flop output nets created in
+    the callback.  To let guards reference the current state before the
+    flops exist, indicator nets are pre-created as BUF-of-flop, which
+    requires the flop net first — so instead we create one DFFR per
+    state up front with a temporary constant input, then rewire.
+
+    Simpler and loop-free: flop inputs are the next-state nets, which
+    depend only on flop *outputs* — a legal sequential cycle.  We create
+    the flops last; guards reference indicator nets that are plain
+    forward declarations realized as the flop outputs via a two-phase
+    build below.
+    """
+    # Phase 1: create the flops with dummy const inputs; indicator nets
+    # are their outputs (inverted for the reset state so reset -> 1).
+    dummy = reset  # temporary data pin, rewired by commit()
+    flop_nets: List[int] = []
+    indicators: Dict[str, int] = {}
+    for state in spec.states:
+        flop = builder.netlist.add_gate("DFFR", [dummy, reset])
+        flop_nets.append(flop)
+        if state == spec.reset_state:
+            indicators[state] = builder.not_(flop)
+        else:
+            indicators[state] = flop
+
+    def commit(arriving: Dict[str, List[int]]) -> None:
+        for state, flop_net in zip(spec.states, flop_nets):
+            terms = arriving[state]
+            if not terms:
+                # Unreachable state (no transition targets it): its
+                # next value is constant 0.
+                next_net = builder.const0()
+            elif len(terms) > 1:
+                next_net = builder.or_(*terms)
+            else:
+                next_net = terms[0]
+            stored = (
+                builder.not_(next_net)
+                if state == spec.reset_state else next_net
+            )
+            _rewire_input(builder, flop_net, port_position=0, new_net=stored)
+
+    return indicators, commit, flop_nets
+
+
+def _binary_state_register_placeholder(builder: CircuitBuilder,
+                                       spec: FsmSpec, reset: int):
+    """Binary-encoded register; decode provides indicator nets.
+
+    States are assigned codes ``1..n`` (code 0 is left illegal), so
+    every state sets at least one code bit and every arriving-term gate
+    is consumed by some next-code OR — no dead logic, and an all-zero
+    register (e.g. a stuck-at fault on the state bits) is detectably
+    outside the state set.
+    """
+    n_states = len(spec.states)
+    width = max(1, n_states.bit_length())
+    codes = {state: i + 1 for i, state in enumerate(spec.states)}
+    reset_code = codes[spec.reset_state]
+
+    dummy = reset  # temporary data pin, rewired by commit()
+    flop_nets: List[int] = []
+    code_bits: List[int] = []
+    for bit in range(width):
+        flop = builder.netlist.add_gate("DFFR", [dummy, reset])
+        flop_nets.append(flop)
+        # Invert storage for bits set in the reset code so that a reset
+        # lands on the reset state's code.
+        if (reset_code >> bit) & 1:
+            code_bits.append(builder.not_(flop))
+        else:
+            code_bits.append(flop)
+
+    indicators = {
+        state: builder.equals_const(code_bits, codes[state])
+        for state in spec.states
+    }
+
+    def commit(arriving: Dict[str, List[int]]) -> None:
+        for bit in range(width):
+            # Flatten arriving terms across all states whose code sets
+            # this bit; no per-state intermediate OR is required.
+            sources = [
+                term
+                for state in spec.states
+                if (codes[state] >> bit) & 1
+                for term in arriving[state]
+            ]
+            if sources:
+                next_bit = (
+                    builder.or_(*sources) if len(sources) > 1 else sources[0]
+                )
+            else:
+                next_bit = builder.const0()
+            stored = (
+                builder.not_(next_bit)
+                if (reset_code >> bit) & 1 else next_bit
+            )
+            _rewire_input(builder, flop_nets[bit], port_position=0,
+                          new_net=stored)
+
+    return indicators, commit, flop_nets
+
+
+def _rewire_input(builder: CircuitBuilder, gate_output_net: int,
+                  port_position: int, new_net: int) -> None:
+    """Replace one input connection of the gate driving
+    ``gate_output_net`` (used to patch forward-referenced flop data
+    pins)."""
+    netlist = builder.netlist
+    gate_index = netlist.nets[gate_output_net].driver
+    if gate_index is None:
+        raise NetlistError("cannot rewire a primary input")
+    gate = netlist.gates[gate_index]
+    old_net = gate.inputs[port_position]
+    netlist.nets[old_net].sinks.remove((gate_index, port_position))
+    new_inputs = list(gate.inputs)
+    new_inputs[port_position] = new_net
+    gate.inputs = tuple(new_inputs)
+    netlist.nets[new_net].sinks.append((gate_index, port_position))
+    netlist._levels_cache = None  # noqa: SLF001

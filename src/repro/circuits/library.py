@@ -1,0 +1,222 @@
+"""Reusable word-level blocks built on :class:`CircuitBuilder`.
+
+These are the datapath idioms the three evaluation designs share:
+counters, down-counting timers, shift registers, and LFSRs.  Each block
+returns the nets a caller needs to wire it into control logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.circuits.builder import Bus, CircuitBuilder
+from repro.utils.errors import NetlistError
+
+
+@dataclass
+class CounterPorts:
+    """Nets exposed by :func:`up_counter`."""
+
+    value: Bus
+    wrap: Optional[int]  # increment carry-out (None unless with_wrap)
+
+
+def up_counter(
+    builder: CircuitBuilder,
+    width: int,
+    reset: int,
+    enable: Optional[int] = None,
+    clear: Optional[int] = None,
+    with_wrap: bool = False,
+) -> CounterPorts:
+    """Free-running (or enabled) up-counter with synchronous clear.
+
+    Priority: reset > clear > enable.  The counter wraps modulo
+    ``2**width``; with ``with_wrap=True`` the ``wrap`` net pulses on the
+    overflow step (otherwise it is ``None`` and no carry gate is built).
+    """
+    if width < 1:
+        raise NetlistError("counter width must be >= 1")
+    # Two-phase build: create flops with dummy inputs, then wire the
+    # increment of their outputs back in.
+    dummy = reset  # temporary data pin, rewired below
+    value: Bus = [
+        builder.netlist.add_gate("DFFR", [dummy, reset]) for _ in range(width)
+    ]
+    incremented, wrap = builder.increment(value, enable, carry_out=with_wrap)
+    next_value = incremented
+    if clear is not None:
+        zero = builder.constant(0, width)
+        next_value = builder.bmux(clear, incremented, zero)
+    from repro.circuits.fsm import _rewire_input
+
+    for flop_net, data_net in zip(value, next_value):
+        _rewire_input(builder, flop_net, port_position=0, new_net=data_net)
+    return CounterPorts(value=value, wrap=wrap)
+
+
+@dataclass
+class TimerPorts:
+    """Nets exposed by :func:`down_timer`."""
+
+    value: Bus
+    done: int  # high while the count sits at zero
+
+
+def down_timer(
+    builder: CircuitBuilder,
+    width: int,
+    load_value: int,
+    load: int,
+    reset: int,
+) -> TimerPorts:
+    """Down-counting timer: ``load`` reloads ``load_value``; the count
+    then decrements to zero and holds; ``done`` is high at zero.
+
+    Decrement is implemented as add-with-all-ones (two's complement -1).
+    """
+    if load_value >= (1 << width):
+        raise NetlistError(
+            f"load value {load_value} does not fit in {width} bits"
+        )
+    dummy = reset  # temporary data pin, rewired below
+    value: Bus = [
+        builder.netlist.add_gate("DFFR", [dummy, reset]) for _ in range(width)
+    ]
+    done = builder.is_zero(value)
+    ones = builder.constant((1 << width) - 1, width)
+    decremented, _ = builder.add(value, ones, carry_out=False)
+    held = builder.bmux(done, decremented, value)
+    loaded = builder.constant(load_value, width)
+    next_value = builder.bmux(load, held, loaded)
+    from repro.circuits.fsm import _rewire_input
+
+    for flop_net, data_net in zip(value, next_value):
+        _rewire_input(builder, flop_net, port_position=0, new_net=data_net)
+    return TimerPorts(value=value, done=done)
+
+
+def shift_register(
+    builder: CircuitBuilder,
+    serial_in: int,
+    width: int,
+    reset: int,
+    enable: Optional[int] = None,
+) -> Bus:
+    """Serial-in shift register; index 0 is the most recent bit."""
+    stages: Bus = []
+    data = serial_in
+    for _ in range(width):
+        if enable is not None:
+            gated = builder.and_(data, builder.not_(reset))
+            load = builder.or_(enable, reset)
+            stage = builder.dffe(gated, load)
+        else:
+            stage = builder.dffr(data, reset)
+        stages.append(stage)
+        data = stage
+    return stages
+
+
+def lfsr(
+    builder: CircuitBuilder,
+    width: int,
+    taps: List[int],
+    reset: int,
+) -> Bus:
+    """Fibonacci LFSR used by self-test workload circuits.
+
+    Resets to the all-ones state (stored inverted so DFFR's reset-to-0
+    lands on all-ones), guaranteeing a nonzero seed.
+    """
+    if any(tap >= width or tap < 0 for tap in taps):
+        raise NetlistError(f"taps {taps} out of range for width {width}")
+    dummy = reset  # temporary data pin, rewired below
+    flops: Bus = [
+        builder.netlist.add_gate("DFFR", [dummy, reset]) for _ in range(width)
+    ]
+    state = [builder.not_(flop) for flop in flops]  # inverted storage
+    feedback = state[taps[0]]
+    for tap in taps[1:]:
+        feedback = builder.xor(feedback, state[tap])
+    shifted = [feedback] + state[:-1]
+    from repro.circuits.fsm import _rewire_input
+
+    for flop_net, data_net in zip(flops, shifted):
+        _rewire_input(builder, flop_net, port_position=0,
+                      new_net=builder.not_(data_net))
+    return state
+
+
+@dataclass
+class FifoPorts:
+    """Nets exposed by :func:`fifo_controller`."""
+
+    full: int
+    empty: int
+    count: Bus
+    read_pointer: Bus
+    write_pointer: Bus
+
+
+def fifo_controller(
+    builder: CircuitBuilder,
+    depth_bits: int,
+    write: int,
+    read: int,
+    reset: int,
+) -> FifoPorts:
+    """Synchronous FIFO *control* logic (pointers, counter, flags).
+
+    Storage lives outside (a RAM macro in a real design); this block
+    owns what a controller owns: gated read/write pointers, the
+    occupancy counter, and full/empty flags.  Writes when full and
+    reads when empty are ignored (safe interface).
+    """
+    if depth_bits < 1:
+        raise NetlistError("FIFO depth must be at least 2 entries")
+    from repro.circuits.fsm import _rewire_input
+
+    # Occupancy counter: up on write-only, down on read-only.
+    dummy = reset
+    count: Bus = [
+        builder.netlist.add_gate("DFFR", [dummy, reset])
+        for _ in range(depth_bits + 1)
+    ]
+    empty = builder.is_zero(count)
+    full = builder.equals_const(count, 1 << depth_bits)
+
+    do_write = builder.and_(write, builder.not_(full))
+    do_read = builder.and_(read, builder.not_(empty))
+    write_only = builder.and_(do_write, builder.not_(do_read))
+    read_only = builder.and_(do_read, builder.not_(do_write))
+
+    incremented, _ = builder.increment(count, carry_out=False)
+    ones = builder.constant((1 << (depth_bits + 1)) - 1,
+                            depth_bits + 1)
+    decremented, _ = builder.add(count, ones, carry_out=False)
+    stepped = builder.bmux(read_only,
+                           builder.bmux(write_only, count, incremented),
+                           decremented)
+    for flop, data in zip(count, stepped):
+        _rewire_input(builder, flop, 0, data)
+
+    def pointer(advance: int) -> Bus:
+        flops: Bus = [
+            builder.netlist.add_gate("DFFR", [dummy, reset])
+            for _ in range(depth_bits)
+        ]
+        bumped, _ = builder.increment(flops, carry_out=False)
+        held = builder.bmux(advance, flops, bumped)
+        for flop, data in zip(flops, held):
+            _rewire_input(builder, flop, 0, data)
+        return flops
+
+    return FifoPorts(
+        full=full,
+        empty=empty,
+        count=count,
+        read_pointer=pointer(do_read),
+        write_pointer=pointer(do_write),
+    )

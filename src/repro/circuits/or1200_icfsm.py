@@ -1,0 +1,215 @@
+"""OR1200 instruction-cache FSM (ICFSM) module (evaluation case 3).
+
+Functional re-implementation of the OR1200 instruction-cache control
+state machine, upgraded to the 2-way set-associative configuration the
+OR1200 supports: it sequences tag lookup across both ways, streams hits
+back to the CPU, runs the 4-word burst line refill into the
+least-recently-used way on a miss, maintains the per-set LRU state,
+bypasses the cache for inhibited regions, and latches bus errors.
+Alongside the raw FSM it contains the datapath slivers the controller
+owns: the requested-address register, the burst word counter, the
+per-way tag comparators, the per-set LRU array and the bus-address
+multiplexer — "all the signals to a processor, data array, and the
+primary memory", as the paper puts it.
+
+Interface:
+    reset            synchronous reset
+    ic_en            cache enable
+    cycstb           CPU fetch strobe
+    ci               cache-inhibit for the current address
+    addr_*           14-bit fetch address: {tag[7:0], set[3:0], word[1:0]}
+    tag0_in_*        8-bit tag read from way 0 of the tag array
+    tag0_v_in        way-0 valid bit
+    tag1_in_*        8-bit tag read from way 1 of the tag array
+    tag1_v_in        way-1 valid bit
+    biudata_valid    bus-interface data-valid strobe
+    biudata_err      bus-interface error strobe
+    invalidate       flush request
+
+Outputs: CPU ``ack``/``err``/``hit``, array controls ``tag_we0/1``,
+``data_we``/``data_we0/1``, ``way_sel``, ``tag_v_out``, bus controls
+``biu_req``, ``burst``, ``biu_adr_*``, and the ``refill_word_*``
+counter.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.builder import CircuitBuilder
+from repro.circuits.fsm import FsmSpec, _rewire_input, synthesize_fsm
+from repro.circuits.library import up_counter
+from repro.netlist.netlist import Netlist
+
+WORD_BITS = 2
+SET_BITS = 4
+TAG_BITS = 8
+ADDR_BITS = TAG_BITS + SET_BITS + WORD_BITS
+N_SETS = 1 << SET_BITS
+WORDS_PER_LINE = 1 << WORD_BITS
+
+STATES = ["IDLE", "CFETCH", "LFETCH", "BFETCH", "ERRLOCK"]
+
+
+def build_or1200_icfsm(encoding: str = "binary") -> Netlist:
+    """Elaborate the instruction-cache FSM; returns the netlist."""
+    builder = CircuitBuilder("or1200_icfsm")
+    reset = builder.input("reset")
+    ic_en = builder.input("ic_en")
+    cycstb = builder.input("cycstb")
+    ci = builder.input("ci")
+    addr = builder.input_bus("addr", ADDR_BITS)
+    tag0_in = builder.input_bus("tag0_in", TAG_BITS)
+    tag0_v_in = builder.input("tag0_v_in")
+    tag1_in = builder.input_bus("tag1_in", TAG_BITS)
+    tag1_v_in = builder.input("tag1_v_in")
+    biudata_valid = builder.input("biudata_valid")
+    biudata_err = builder.input("biudata_err")
+    invalidate = builder.input("invalidate")
+
+    addr_tag = addr[ADDR_BITS - TAG_BITS:]
+
+    # Per-way tag comparators.
+    usable = builder.not_(invalidate)
+    hit0 = builder.and_(builder.equals(tag0_in, addr_tag), tag0_v_in,
+                        usable)
+    hit1 = builder.and_(builder.equals(tag1_in, addr_tag), tag1_v_in,
+                        usable)
+    hit = builder.or_(hit0, hit1)
+    miss = builder.not_(hit)
+
+    # Deferred control nets patched to FSM state bits after synthesis.
+    placeholder = reset  # temporary input, rewired below
+    in_lfetch = builder.buf(placeholder)
+    in_cfetch_entry = builder.buf(placeholder)
+    ack_hit_deferred = builder.buf(placeholder)
+    tag_we_deferred = builder.buf(placeholder)
+
+    refill_ctr = up_counter(
+        builder, WORD_BITS, reset,
+        enable=builder.and_(in_lfetch, biudata_valid),
+        clear=builder.not_(in_lfetch),
+    )
+    last_word = builder.and_(
+        builder.equals_const(refill_ctr.value, WORDS_PER_LINE - 1),
+        biudata_valid,
+    )
+
+    saved_addr = builder.register(addr, enable=in_cfetch_entry)
+    saved_set = saved_addr[WORD_BITS:WORD_BITS + SET_BITS]
+
+    # ------------------------------------------------------------------
+    # Per-set LRU array: bit s points at the least-recently-used way of
+    # set s (the refill victim).  A streaming hit marks the *other* way
+    # LRU; completing a refill into the victim flips it.
+    # ------------------------------------------------------------------
+    set_select = builder.decode(saved_set)
+    victim_terms = []
+    lru_bits = []
+    for index in range(N_SETS):
+        flop = builder.netlist.add_gate("DFFR", [reset, reset])
+        lru_bits.append(flop)
+        victim_terms.append(builder.and_(set_select[index], flop))
+    victim = builder.or_(*victim_terms)  # 1 = way 1 is the victim
+
+    new_lru = builder.or_(
+        builder.and_(ack_hit_deferred, hit0),           # way0 used -> LRU=1
+        builder.and_(tag_we_deferred, builder.not_(victim)),
+    )
+    lru_update = builder.or_(ack_hit_deferred, tag_we_deferred)
+    for index in range(N_SETS):
+        enable = builder.and_(lru_update, set_select[index])
+        held = builder.mux(enable, lru_bits[index], new_lru)
+        _rewire_input(builder, lru_bits[index], 0, held)
+
+    spec = FsmSpec("icfsm", states=STATES, reset_state="IDLE")
+    spec.transition("IDLE", "CFETCH", when="ic_en & cycstb")
+    spec.transition("CFETCH", "BFETCH", when="ci & cycstb")
+    spec.transition("CFETCH", "IDLE", when="~cycstb")
+    spec.transition("CFETCH", "LFETCH", when="miss")
+    spec.transition("LFETCH", "ERRLOCK", when="biudata_err")
+    spec.transition("LFETCH", "CFETCH", when="last_word")
+    spec.transition("BFETCH", "ERRLOCK", when="biudata_err")
+    spec.transition("BFETCH", "IDLE", when="biudata_valid")
+    spec.transition("ERRLOCK", "IDLE", when="~cycstb")
+    spec.moore_output("biu_req", states=["LFETCH", "BFETCH"])
+    spec.moore_output("burst", states=["LFETCH"])
+    spec.moore_output("err", states=["ERRLOCK"])
+
+    fsm = synthesize_fsm(
+        spec,
+        builder,
+        inputs={
+            "ic_en": ic_en,
+            "cycstb": cycstb,
+            "ci": ci,
+            "miss": miss,
+            "last_word": last_word,
+            "biudata_err": biudata_err,
+            "biudata_valid": biudata_valid,
+        },
+        reset=reset,
+        encoding=encoding,
+    )
+    state = fsm.state_bits
+
+    _rewire_input(builder, in_lfetch, 0, state["LFETCH"])
+    _rewire_input(
+        builder, in_cfetch_entry, 0,
+        builder.and_(
+            cycstb,
+            builder.or_(
+                state["IDLE"],
+                builder.and_(state["CFETCH"], hit),
+            ),
+        ),
+    )
+
+    # CPU acknowledge: streaming hit, refill delivering the requested
+    # word (word counter equals the saved word offset), or an uncached
+    # single fetch completing.
+    requested_word = builder.equals(refill_ctr.value,
+                                    saved_addr[:WORD_BITS])
+    ack_hit = builder.and_(state["CFETCH"], hit, cycstb,
+                           builder.not_(ci))
+    ack_refill = builder.and_(state["LFETCH"], biudata_valid,
+                              requested_word)
+    ack_bypass = builder.and_(state["BFETCH"], biudata_valid)
+    ack = builder.or_(ack_hit, ack_refill, ack_bypass)
+    _rewire_input(builder, ack_hit_deferred, 0, ack_hit)
+
+    # Array write controls, steered to the victim way during refill.
+    data_we = builder.and_(state["LFETCH"], biudata_valid)
+    tag_we = builder.and_(state["LFETCH"], last_word)
+    _rewire_input(builder, tag_we_deferred, 0, tag_we)
+    tag_we0 = builder.and_(tag_we, builder.not_(victim))
+    tag_we1 = builder.and_(tag_we, victim)
+    data_we0 = builder.and_(data_we, builder.not_(victim))
+    data_we1 = builder.and_(data_we, victim)
+    tag_v_out = builder.not_(invalidate)
+
+    # Way select back to the data array: hit way while streaming, the
+    # refill victim during a line fill.
+    way_sel = builder.mux(state["LFETCH"], hit1, victim)
+
+    # Bus address: saved line address with the word offset replaced by
+    # the refill counter during a burst.
+    biu_adr = list(saved_addr)
+    for bit in range(WORD_BITS):
+        biu_adr[bit] = builder.mux(state["LFETCH"], saved_addr[bit],
+                                   refill_ctr.value[bit])
+
+    builder.output(ack, "ack")
+    builder.output(hit, "hit")
+    builder.output(fsm.outputs["err"], "err")
+    builder.output(fsm.outputs["biu_req"], "biu_req")
+    builder.output(fsm.outputs["burst"], "burst")
+    builder.output(data_we, "data_we")
+    builder.output(data_we0, "data_we0")
+    builder.output(data_we1, "data_we1")
+    builder.output(tag_we0, "tag_we0")
+    builder.output(tag_we1, "tag_we1")
+    builder.output(way_sel, "way_sel")
+    builder.output(tag_v_out, "tag_v_out")
+    builder.output_bus(biu_adr, "biu_adr")
+    builder.output_bus(refill_ctr.value, "refill_word")
+
+    return builder.netlist

@@ -1,0 +1,176 @@
+"""OR1200 instruction-fetch (IF) stage (evaluation case 2).
+
+Functional re-implementation of the OR1200 fetch stage: the program
+counter datapath (PC+4 incrementer, branch-target and exception-vector
+multiplexers), the fetch/cache handshake, the instruction register with
+bus-error NOP substitution, a branch-pending save mechanism for stalls,
+and simple opcode classification logic on the fetched instruction.
+
+Interface:
+    reset               synchronous reset
+    stall               pipeline freeze from later stages
+    branch_taken        redirect request from EX stage
+    branch_addr_*       32-bit branch target
+    except_start        exception redirect request (wins over branch)
+    except_type_*       3-bit exception cause, selects the vector
+    icpu_ack            instruction-cache acknowledge
+    icpu_err            instruction-side bus error
+    icpu_dat_*          32-bit instruction data from the cache
+
+Outputs: ``icpu_adr_*`` (next fetch address), ``if_insn_*``,
+``if_pc_*``, ``if_valid``, ``icpu_req``, ``if_stall``, and branch
+classification flags decoded from the fetched opcode.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.circuits.builder import Bus, CircuitBuilder
+from repro.circuits.fsm import _rewire_input
+from repro.netlist.netlist import Netlist
+
+WORD = 32
+RESET_VECTOR = 0x00000100
+
+#: l.nop 0x15000000 — substituted on bus error / invalid fetch.
+NOP_INSTRUCTION = 0x15000000
+
+#: Exception vectors sit at ``cause << 8`` (OR1K-style spacing).
+VECTOR_STRIDE_SHIFT = 8
+
+
+def _register_with_reset_value(
+    builder: CircuitBuilder, width: int, reset: int, reset_value: int
+):
+    """Word register resetting to ``reset_value``.
+
+    Bits set in ``reset_value`` are stored inverted (DFFR resets to 0),
+    so the architectural view resets to the requested constant.
+    Returns ``(view_bus, commit)``; call ``commit(next_bus)`` once the
+    next-value logic exists.
+    """
+    dummy = reset  # temporary data pin, rewired by commit()
+    flops: Bus = [
+        builder.netlist.add_gate("DFFR", [dummy, reset]) for _ in range(width)
+    ]
+    view: Bus = [
+        builder.not_(flop) if (reset_value >> bit) & 1 else flop
+        for bit, flop in enumerate(flops)
+    ]
+
+    def commit(next_bus: Bus) -> None:
+        for bit, (flop, next_net) in enumerate(zip(flops, next_bus)):
+            stored = (
+                builder.not_(next_net)
+                if (reset_value >> bit) & 1 else next_net
+            )
+            _rewire_input(builder, flop, port_position=0, new_net=stored)
+
+    return view, commit
+
+
+def _plus_four(builder: CircuitBuilder, word: Bus) -> Bus:
+    """``word + 4`` as a half-adder carry chain starting at bit 2."""
+    out = list(word[:2])
+    carry = builder.const1()
+    last = len(word) - 1
+    for bit in range(2, len(word)):
+        out.append(builder.xor(word[bit], carry))
+        if bit < last:
+            carry = builder.and_(word[bit], carry)
+    return out
+
+
+def build_or1200_if() -> Netlist:
+    """Elaborate the OR1200 IF stage; returns the gate-level netlist."""
+    builder = CircuitBuilder("or1200_if")
+    reset = builder.input("reset")
+    stall = builder.input("stall")
+    branch_taken = builder.input("branch_taken")
+    branch_addr = builder.input_bus("branch_addr", WORD)
+    except_start = builder.input("except_start")
+    except_type = builder.input_bus("except_type", 3)
+    icpu_ack = builder.input("icpu_ack")
+    icpu_err = builder.input("icpu_err")
+    icpu_dat = builder.input_bus("icpu_dat", WORD)
+
+    run = builder.not_(stall)
+
+    # ------------------------------------------------------------------
+    # Branch-pending capture: a redirect arriving while stalled is
+    # saved and replayed once the pipeline unfreezes.
+    # ------------------------------------------------------------------
+    save_branch = builder.and_(branch_taken, stall)
+    pending_feedback = builder.buf(reset)  # patched below
+    branch_pending_next = builder.and_(
+        builder.or_(save_branch, pending_feedback), stall
+    )
+    branch_pending = builder.dffr(branch_pending_next, reset)
+    _rewire_input(builder, pending_feedback, 0, branch_pending)
+    saved_branch_addr = builder.register(branch_addr, enable=save_branch)
+
+    take_branch = builder.and_(
+        run, builder.or_(branch_taken, branch_pending)
+    )
+    effective_branch_addr = builder.bmux(
+        branch_pending, branch_addr, saved_branch_addr
+    )
+
+    # ------------------------------------------------------------------
+    # PC datapath.
+    # ------------------------------------------------------------------
+    pc, commit_pc = _register_with_reset_value(
+        builder, WORD, reset, RESET_VECTOR
+    )
+    pc_inc = _plus_four(builder, pc)
+
+    vector: Bus = (
+        builder.constant(0, VECTOR_STRIDE_SHIFT)
+        + list(except_type)
+        + builder.constant(0, WORD - VECTOR_STRIDE_SHIFT - 3)
+    )
+
+    advance = builder.and_(run, builder.or_(icpu_ack, icpu_err))
+    npc_seq = builder.bmux(advance, pc, pc_inc)
+    npc_branch = builder.bmux(take_branch, npc_seq, effective_branch_addr)
+    npc = builder.bmux(except_start, npc_branch, vector)
+    commit_pc(npc)
+
+    # ------------------------------------------------------------------
+    # Instruction register and validity tracking.
+    # ------------------------------------------------------------------
+    fetch_good = builder.and_(icpu_ack, builder.not_(icpu_err), run)
+    fetch_err = builder.and_(icpu_err, run)
+    capture = builder.or_(fetch_good, fetch_err)
+
+    nop_word = builder.constant(NOP_INSTRUCTION, WORD)
+    insn_next = builder.bmux(fetch_err, icpu_dat, nop_word)
+    if_insn = builder.register(insn_next, reset=reset, enable=capture)
+    if_pc = builder.register(pc, enable=capture)
+    if_valid = builder.dffr(fetch_good, reset)
+
+    # ------------------------------------------------------------------
+    # Opcode classification: opcode = insn[31:26] (OR1K major opcodes).
+    # ------------------------------------------------------------------
+    opcode = if_insn[26:32]
+    is_j = builder.equals_const(opcode, 0x00)      # l.j
+    is_jal = builder.equals_const(opcode, 0x01)    # l.jal
+    is_bnf = builder.equals_const(opcode, 0x03)    # l.bnf
+    is_bf = builder.equals_const(opcode, 0x04)     # l.bf
+    is_nop = builder.equals_const(opcode, 0x05)    # l.nop
+    is_branch = builder.or_(is_j, is_jal, is_bnf, is_bf)
+
+    icpu_req = run
+    if_stall = builder.and_(run, builder.nor(icpu_ack, icpu_err))
+
+    builder.output_bus(npc, "icpu_adr")
+    builder.output_bus(if_insn, "if_insn")
+    builder.output_bus(if_pc, "if_pc")
+    builder.output(if_valid, "if_valid")
+    builder.output(icpu_req, "icpu_req")
+    builder.output(if_stall, "if_stall")
+    builder.output(is_branch, "if_branch_op")
+    builder.output(is_nop, "if_nop_op")
+
+    return builder.netlist

@@ -1,0 +1,95 @@
+"""Random netlist generation for tests and robustness experiments.
+
+Generates valid, acyclic-through-combinational-logic netlists with a
+controllable mix of combinational and sequential cells.  Used by
+property-based tests (simulator cross-checks, round-trip I/O) and by
+scaling benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.netlist.cells import LIBRARY
+from repro.netlist.netlist import Netlist
+from repro.utils.rng import SeedLike, rng_from_seed
+
+#: Combinational cells eligible for random instantiation, grouped by arity.
+_COMBINATIONAL_CHOICES = [
+    name
+    for name, cell in LIBRARY.items()
+    if not cell.sequential and cell.n_inputs >= 1
+]
+
+
+def random_netlist(
+    n_inputs: int = 8,
+    n_gates: int = 64,
+    n_flops: int = 8,
+    n_outputs: int = 6,
+    seed: SeedLike = None,
+    name: Optional[str] = None,
+) -> Netlist:
+    """Generate a random, structurally valid sequential netlist.
+
+    Flip-flops are created first with placeholder fanin and rewired to
+    randomly chosen nets at the end, so state feedback loops occur
+    naturally while the combinational core stays acyclic (each
+    combinational gate only reads nets created before it).
+    """
+    rng = rng_from_seed(seed)
+    netlist = Netlist(name or f"random_{n_gates}g")
+    available = [netlist.add_input(f"in_{i}") for i in range(n_inputs)]
+    if not available:
+        raise ValueError("random_netlist needs at least one input")
+
+    reset = available[0]
+
+    flop_outputs = []
+    for index in range(n_flops):
+        flop = netlist.add_gate(
+            "DFFR", [available[0], reset], instance=f"R{index}"
+        )
+        flop_outputs.append(flop)
+        available.append(flop)
+
+    for index in range(n_gates):
+        cell_name = _COMBINATIONAL_CHOICES[
+            int(rng.integers(len(_COMBINATIONAL_CHOICES)))
+        ]
+        cell = LIBRARY[cell_name]
+        inputs = [
+            available[int(rng.integers(len(available)))]
+            for _ in range(cell.n_inputs)
+        ]
+        available.append(
+            netlist.add_gate(cell_name, inputs, instance=f"G{index}")
+        )
+
+    # Rewire flop data pins onto random nets (any net is legal).
+    from repro.circuits.fsm import _rewire_input
+    from repro.circuits.builder import CircuitBuilder
+
+    shim = CircuitBuilder.__new__(CircuitBuilder)
+    shim.netlist = netlist
+    for flop in flop_outputs:
+        target = available[int(rng.integers(len(available)))]
+        _rewire_input(shim, flop, port_position=0, new_net=target)
+
+    # Outputs: prefer the last-created nets so deep logic is observable.
+    chosen = rng.choice(
+        len(available), size=min(n_outputs, len(available)), replace=False
+    )
+    for position, net_position in enumerate(sorted(chosen)):
+        netlist.add_output(available[net_position], f"out_{position}")
+
+    # Guarantee no dangling nets: any net without sinks becomes a PO.
+    exported = {net for net, _ in netlist.primary_outputs}
+    extra = 0
+    for net in netlist.nets:
+        if not net.sinks and net.index not in exported:
+            netlist.add_output(net.index, f"aux_out_{extra}")
+            extra += 1
+    return netlist

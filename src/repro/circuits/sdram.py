@@ -1,0 +1,288 @@
+"""SDRAM controller design (evaluation case 1).
+
+A functional re-implementation of the open SDRAM-controller class of
+designs the paper evaluates: a JEDEC-style command state machine with
+power-up initialization (precharge, double auto-refresh, mode-register
+load), a refresh scheduler, request latching, burst read/write
+sequencing, and the row/column address multiplexer.
+
+Host interface (all synchronous to the implicit clock):
+    reset        synchronous reset
+    req          access request, held until ``ack``
+    we           1 = write, 0 = read (sampled with ``req``)
+    haddr_*      host address: {bank[1:0], row[11:0], col[7:0]}
+
+SDRAM-side pins: ``cs_n, ras_n, cas_n, we_n, cke, dqm, ba_*, a_*`` plus
+host-side ``ready``, ``ack`` and ``busy``.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.builder import CircuitBuilder
+from repro.circuits.fsm import FsmSpec, synthesize_fsm
+from repro.circuits.library import up_counter
+from repro.netlist.netlist import Netlist
+
+ROW_BITS = 12
+COL_BITS = 8
+BANK_BITS = 2
+
+#: Cycle counts for the timing counters (scaled-down JEDEC timings so
+#: workloads exercise every state within short simulations).
+INIT_WAIT_CYCLES = 10
+T_RP = 2
+T_RFC = 5
+T_MRD = 1
+T_RCD = 2
+BURST_LENGTH = 4
+REFRESH_INTERVAL = 50
+
+#: Mode-register value driven on the address pins during INIT_MODE
+#: (burst length 4, sequential, CAS latency 2).
+MODE_REGISTER_VALUE = 0x022
+
+STATES = [
+    "INIT_WAIT",
+    "INIT_PRE",
+    "INIT_REF1",
+    "INIT_REF2",
+    "INIT_MODE",
+    "IDLE",
+    "REFRESH",
+    "ACTIVATE",
+    "READ",
+    "WRITE",
+    "PRECHARGE",
+]
+
+
+def build_sdram_controller(encoding: str = "one-hot") -> Netlist:
+    """Elaborate the SDRAM controller; returns the gate-level netlist."""
+    builder = CircuitBuilder("sdram_controller")
+    reset = builder.input("reset")
+    req = builder.input("req")
+    we = builder.input("we")
+    haddr = builder.input_bus("haddr", BANK_BITS + ROW_BITS + COL_BITS)
+
+    col = haddr[:COL_BITS]
+    row = haddr[COL_BITS:COL_BITS + ROW_BITS]
+    bank = haddr[COL_BITS + ROW_BITS:]
+
+    # ------------------------------------------------------------------
+    # FSM skeleton: built first with placeholder condition inputs that
+    # are wired to counters afterwards.  The counters depend on state
+    # bits, so conditions are realized as registered "done" flags fed by
+    # counters whose enables come from state indicators — a legal
+    # sequential cycle.  To avoid forward references entirely, the FSM
+    # conditions reference *input* nets created here and driven by
+    # combinational logic over counters, which themselves consume FSM
+    # state bits; netlist construction order only requires nets to
+    # exist, and counters are created after the FSM via rewiring
+    # helpers.  We use the simpler pattern: conditions come from
+    # counters built on registered copies of the state indicators
+    # (one-cycle-delayed enables), which matches how a timing counter
+    # is enabled by a registered state in RTL practice.
+    # ------------------------------------------------------------------
+    # Registered state indicators do not exist until the FSM does, so
+    # the build order is:
+    #   1. counters driven by placeholder enables (const0)
+    #   2. FSM with guards over counter outputs
+    #   3. rewire counter enables/clears to FSM state bits
+    from repro.circuits.fsm import _rewire_input  # shared rewiring helper
+
+    placeholder = reset  # temporary input, rewired below
+
+    def deferred_net() -> int:
+        """A BUF gate whose input is patched later."""
+        return builder.buf(placeholder)
+
+    enable_init = deferred_net()
+    enable_trp = deferred_net()
+    enable_trfc = deferred_net()
+    enable_tmrd = deferred_net()
+    enable_trcd = deferred_net()
+    enable_burst = deferred_net()
+
+    def patch(buffer_net: int, real_net: int) -> None:
+        _rewire_input(builder, buffer_net, port_position=0, new_net=real_net)
+
+    init_ctr = up_counter(builder, 4, reset, enable=enable_init,
+                          clear=builder.not_(enable_init))
+    trp_ctr = up_counter(builder, 2, reset, enable=enable_trp,
+                         clear=builder.not_(enable_trp))
+    trfc_ctr = up_counter(builder, 3, reset, enable=enable_trfc,
+                          clear=builder.not_(enable_trfc))
+    tmrd_ctr = up_counter(builder, 1, reset, enable=enable_tmrd,
+                          clear=builder.not_(enable_tmrd))
+    trcd_ctr = up_counter(builder, 2, reset, enable=enable_trcd,
+                          clear=builder.not_(enable_trcd))
+    burst_ctr = up_counter(builder, 2, reset, enable=enable_burst,
+                           clear=builder.not_(enable_burst))
+
+    init_done = builder.equals_const(init_ctr.value, INIT_WAIT_CYCLES)
+    trp_done = builder.equals_const(trp_ctr.value, T_RP)
+    trfc_done = builder.equals_const(trfc_ctr.value, T_RFC)
+    tmrd_done = builder.equals_const(tmrd_ctr.value, T_MRD)
+    trcd_done = builder.equals_const(trcd_ctr.value, T_RCD)
+    burst_done = builder.equals_const(burst_ctr.value, BURST_LENGTH - 1)
+
+    # Refresh scheduler: free-running interval counter sets a request
+    # flag; the flag clears when the REFRESH state is entered.
+    refresh_tick_ctr = up_counter(builder, 6, reset)
+    refresh_tick = builder.equals_const(
+        refresh_tick_ctr.value, REFRESH_INTERVAL
+    )
+    refresh_ack = deferred_net()  # patched to the REFRESH state bit
+    refresh_req_next = builder.and_(
+        builder.or_(refresh_tick, deferred_refresh := builder.buf(placeholder)),
+        builder.not_(refresh_ack),
+    )
+    refresh_req = builder.dffr(refresh_req_next, reset)
+    patch(deferred_refresh, refresh_req)
+
+    # Latched request attributes (captured when IDLE accepts a request).
+    accept = deferred_net()  # patched to IDLE & req & ~refresh pending
+    we_latched = builder.dffe(we, accept)
+    col_latched = builder.register(col, enable=accept)
+    row_latched = builder.register(row, enable=accept)
+    bank_latched = builder.register(bank, enable=accept)
+
+    spec = FsmSpec("sdram_fsm", states=STATES, reset_state="INIT_WAIT")
+    spec.transition("INIT_WAIT", "INIT_PRE", when="init_done")
+    spec.transition("INIT_PRE", "INIT_REF1", when="trp_done")
+    spec.transition("INIT_REF1", "INIT_REF2", when="trfc_done")
+    spec.transition("INIT_REF2", "INIT_MODE", when="trfc_done")
+    spec.transition("INIT_MODE", "IDLE", when="tmrd_done")
+    spec.transition("IDLE", "REFRESH", when="refresh_req")
+    spec.transition("IDLE", "ACTIVATE", when="req & ~refresh_req")
+    spec.transition("REFRESH", "IDLE", when="trfc_done")
+    spec.transition("ACTIVATE", "WRITE", when="trcd_done & we_latched")
+    spec.transition("ACTIVATE", "READ", when="trcd_done & ~we_latched")
+    spec.transition("READ", "PRECHARGE", when="burst_done")
+    spec.transition("WRITE", "PRECHARGE", when="burst_done")
+    spec.transition("PRECHARGE", "IDLE", when="trp_done")
+    spec.moore_output("ready", states=["IDLE"])
+    spec.moore_output(
+        "busy",
+        states=[s for s in STATES if s != "IDLE"],
+    )
+
+    fsm = synthesize_fsm(
+        spec,
+        builder,
+        inputs={
+            "init_done": init_done,
+            "trp_done": trp_done,
+            "trfc_done": trfc_done,
+            "tmrd_done": tmrd_done,
+            "trcd_done": trcd_done,
+            "burst_done": burst_done,
+            "refresh_req": refresh_req,
+            "req": req,
+            "we_latched": we_latched,
+        },
+        reset=reset,
+        encoding=encoding,
+    )
+    state = fsm.state_bits
+
+    # Wire the deferred counter enables / handshakes to the state bits.
+    patch(enable_init, state["INIT_WAIT"])
+    patch(enable_trp, builder.or_(state["INIT_PRE"], state["PRECHARGE"]))
+    patch(
+        enable_trfc,
+        builder.or_(state["INIT_REF1"], state["INIT_REF2"],
+                    state["REFRESH"]),
+    )
+    patch(enable_tmrd, state["INIT_MODE"])
+    patch(enable_trcd, state["ACTIVATE"])
+    patch(enable_burst, builder.or_(state["READ"], state["WRITE"]))
+    patch(refresh_ack, state["REFRESH"])
+    patch(
+        accept,
+        builder.and_(state["IDLE"], req, builder.not_(refresh_req)),
+    )
+
+    # ------------------------------------------------------------------
+    # SDRAM command generation.  Commands assert on the first cycle of
+    # their state (counter still zero).
+    # ------------------------------------------------------------------
+    trp_zero = builder.is_zero(trp_ctr.value)
+    trfc_zero = builder.is_zero(trfc_ctr.value)
+    tmrd_zero = builder.is_zero(tmrd_ctr.value)
+    trcd_zero = builder.is_zero(trcd_ctr.value)
+    burst_zero = builder.is_zero(burst_ctr.value)
+
+    cmd_precharge = builder.or_(
+        builder.and_(state["INIT_PRE"], trp_zero),
+        builder.and_(state["PRECHARGE"], trp_zero),
+    )
+    cmd_refresh = builder.and_(
+        builder.or_(state["INIT_REF1"], state["INIT_REF2"],
+                    state["REFRESH"]),
+        trfc_zero,
+    )
+    cmd_mode = builder.and_(state["INIT_MODE"], tmrd_zero)
+    cmd_active = builder.and_(state["ACTIVATE"], trcd_zero)
+    cmd_read = builder.and_(state["READ"], burst_zero)
+    cmd_write = builder.and_(state["WRITE"], burst_zero)
+
+    # Command truth table (cs_n, ras_n, cas_n, we_n), NOP = 0111:
+    #   PRECHARGE 0010, REFRESH 0001, MODE 0000, ACTIVE 0011,
+    #   READ 0101, WRITE 0100.
+    any_cmd = builder.or_(
+        cmd_precharge, cmd_refresh, cmd_mode, cmd_active, cmd_read, cmd_write
+    )
+    cs_n = builder.not_(any_cmd)
+    ras_n = builder.or_(cmd_read, cmd_write)  # high for READ/WRITE, NOP
+    ras_n = builder.or_(ras_n, builder.not_(any_cmd))
+    cas_n = builder.or_(cmd_precharge, cmd_active,
+                        builder.not_(any_cmd))
+    we_n = builder.or_(cmd_refresh, cmd_active, cmd_read,
+                       builder.not_(any_cmd))
+
+    # ------------------------------------------------------------------
+    # Address pin multiplexer.
+    # ------------------------------------------------------------------
+    col_addr = list(col_latched) + builder.constant(0, ROW_BITS - COL_BITS)
+    precharge_all = builder.constant(1 << 10, ROW_BITS)  # A10 = 1
+    mode_word = builder.constant(MODE_REGISTER_VALUE, ROW_BITS)
+    zero_addr = builder.constant(0, ROW_BITS)
+
+    rw_state = builder.or_(cmd_read, cmd_write)
+    a_pins = builder.bmux_many(
+        [cmd_active, rw_state, cmd_precharge, cmd_mode,
+         builder.nor(cmd_active, rw_state, cmd_precharge, cmd_mode)],
+        [row_latched, col_addr, precharge_all, mode_word, zero_addr],
+    )
+
+    # cke low only during the initial power-up wait; dqm masks data
+    # until initialization completes.
+    init_phase = builder.or_(
+        state["INIT_WAIT"], state["INIT_PRE"], state["INIT_REF1"],
+        state["INIT_REF2"], state["INIT_MODE"],
+    )
+    cke = builder.not_(state["INIT_WAIT"])
+    dqm = init_phase
+
+    ack = builder.and_(state["IDLE"], req, builder.not_(refresh_req))
+    data_valid = builder.and_(state["READ"],
+                              builder.not_(we_latched))
+
+    # ------------------------------------------------------------------
+    # Primary outputs.
+    # ------------------------------------------------------------------
+    builder.output(cs_n, "cs_n")
+    builder.output(ras_n, "ras_n")
+    builder.output(cas_n, "cas_n")
+    builder.output(we_n, "we_n")
+    builder.output(cke, "cke")
+    builder.output(dqm, "dqm")
+    builder.output_bus(bank_latched, "ba")
+    builder.output_bus(a_pins, "a")
+    builder.output(fsm.outputs["ready"], "ready")
+    builder.output(fsm.outputs["busy"], "busy")
+    builder.output(ack, "ack")
+    builder.output(data_valid, "data_valid")
+
+    return builder.netlist

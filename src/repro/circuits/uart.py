@@ -1,0 +1,221 @@
+"""UART transceiver (additional design, beyond the paper's three).
+
+A classic asynchronous serial port used as the framework's
+"user-supplied design" validation subject: a transmitter and receiver
+sharing a programmable baud divider, 8N1 framing plus even parity,
+frame/parity error detection, and a loopback-friendly interface.
+
+Transmitter: ``tx_start`` latches ``tx_data`` and shifts out
+START(0) + 8 data bits (LSB first) + even parity + STOP(1) at the baud
+rate; ``tx_busy`` covers the frame, ``tx_done`` pulses at completion.
+
+Receiver: detects the start edge on ``rxd``, samples each bit at the
+baud tick, checks parity and the stop bit, and presents the byte on
+``rx_data`` with a one-cycle ``rx_valid`` pulse (``rx_frame_err`` /
+``rx_parity_err`` otherwise).
+
+The divisor is fixed small (:data:`BAUD_DIVISOR`) so whole frames fit
+in short fault-injection workloads.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.builder import CircuitBuilder
+from repro.circuits.fsm import FsmSpec, _rewire_input, synthesize_fsm
+from repro.circuits.library import up_counter
+from repro.netlist.netlist import Netlist
+
+DATA_BITS = 8
+#: Clock cycles per bit period.
+BAUD_DIVISOR = 4
+#: Cycles per full frame (start + data + parity + stop).
+FRAME_CYCLES = BAUD_DIVISOR * (DATA_BITS + 3)
+
+
+def build_uart() -> Netlist:
+    """Elaborate the UART; returns the gate-level netlist."""
+    builder = CircuitBuilder("uart")
+    reset = builder.input("reset")
+    tx_start = builder.input("tx_start")
+    tx_data = builder.input_bus("tx_data", DATA_BITS)
+    rxd = builder.input("rxd")
+
+    # ------------------------------------------------------------------
+    # Transmitter
+    # ------------------------------------------------------------------
+    tx_tick_enable = builder.buf(reset)  # patched to ~IDLE below
+    tx_baud = up_counter(builder, 2, reset, enable=tx_tick_enable,
+                         clear=builder.not_(tx_tick_enable))
+    tx_tick = builder.equals_const(tx_baud.value, BAUD_DIVISOR - 1)
+
+    tx_bit_enable = builder.buf(reset)  # patched: counting data bits
+    tx_bits = up_counter(
+        builder, 3, reset,
+        enable=builder.and_(tx_bit_enable, tx_tick),
+        clear=builder.not_(tx_bit_enable),
+    )
+    tx_last_bit = builder.and_(
+        builder.equals_const(tx_bits.value, DATA_BITS - 1), tx_tick
+    )
+
+    # Shift register loaded on accept, shifted each DATA-state tick.
+    tx_accept = builder.buf(reset)  # patched: IDLE & tx_start
+    tx_shift_enable = builder.buf(reset)
+    shift = []
+    for bit in range(DATA_BITS):
+        flop = builder.netlist.add_gate("DFFR", [reset, reset])
+        shift.append(flop)
+    for bit in range(DATA_BITS):
+        upper = shift[bit + 1] if bit + 1 < DATA_BITS else builder.const0()
+        shifted = builder.mux(tx_shift_enable, shift[bit], upper)
+        loaded = builder.mux(tx_accept, shifted, tx_data[bit])
+        _rewire_input(builder, shift[bit], 0, loaded)
+
+    # Even parity accumulated over the transmitted bits.
+    tx_parity_flop = builder.netlist.add_gate("DFFR", [reset, reset])
+    tx_parity_next = builder.mux(
+        tx_shift_enable,
+        builder.mux(tx_accept, tx_parity_flop, builder.const0()),
+        builder.xor(tx_parity_flop, shift[0]),
+    )
+    _rewire_input(builder, tx_parity_flop, 0, tx_parity_next)
+
+    tx_spec = FsmSpec(
+        "uart_tx",
+        states=["IDLE", "START", "DATA", "PARITY", "STOP"],
+        reset_state="IDLE",
+    )
+    tx_spec.transition("IDLE", "START", when="tx_start")
+    tx_spec.transition("START", "DATA", when="tick")
+    tx_spec.transition("DATA", "PARITY", when="last_bit")
+    tx_spec.transition("PARITY", "STOP", when="tick")
+    tx_spec.transition("STOP", "IDLE", when="tick")
+    tx_spec.moore_output("busy", states=["START", "DATA", "PARITY",
+                                         "STOP"])
+    tx_spec.mealy_output("done", [("STOP", "tick")])
+    tx_fsm = synthesize_fsm(
+        tx_spec, builder,
+        inputs={"tx_start": tx_start, "tick": tx_tick,
+                "last_bit": tx_last_bit},
+        reset=reset, encoding="one-hot",
+    )
+    tx_state = tx_fsm.state_bits
+
+    _rewire_input(builder, tx_tick_enable, 0,
+                  builder.not_(tx_state["IDLE"]))
+    _rewire_input(builder, tx_bit_enable, 0, tx_state["DATA"])
+    _rewire_input(builder, tx_accept, 0,
+                  builder.and_(tx_state["IDLE"], tx_start))
+    _rewire_input(builder, tx_shift_enable, 0,
+                  builder.and_(tx_state["DATA"], tx_tick))
+
+    # Line value per state: idle/stop high, start low, data = LSB of
+    # the shifter, parity = accumulated parity.
+    txd = builder.bmux_many(
+        [tx_state["IDLE"], tx_state["START"], tx_state["DATA"],
+         tx_state["PARITY"], tx_state["STOP"]],
+        [[builder.const1()], [builder.const0()], [shift[0]],
+         [tx_parity_flop], [builder.const1()]],
+    )[0]
+
+    # ------------------------------------------------------------------
+    # Receiver
+    # ------------------------------------------------------------------
+    rxd_sync = builder.dffr(builder.dffr(rxd, reset), reset)
+
+    rx_tick_enable = builder.buf(reset)
+    rx_baud = up_counter(builder, 2, reset, enable=rx_tick_enable,
+                         clear=builder.not_(rx_tick_enable))
+    # Sample mid-bit: the phase counter restarts on the start edge.
+    rx_sample = builder.equals_const(rx_baud.value,
+                                     BAUD_DIVISOR // 2 - 1)
+    rx_tick = builder.equals_const(rx_baud.value, BAUD_DIVISOR - 1)
+
+    rx_bit_enable = builder.buf(reset)
+    rx_bits = up_counter(
+        builder, 3, reset,
+        enable=builder.and_(rx_bit_enable, rx_tick),
+        clear=builder.not_(rx_bit_enable),
+    )
+    rx_last_bit = builder.and_(
+        builder.equals_const(rx_bits.value, DATA_BITS - 1), rx_tick
+    )
+
+    rx_capture = builder.buf(reset)  # patched: DATA & sample point
+    rx_shift = []
+    for bit in range(DATA_BITS):
+        flop = builder.netlist.add_gate("DFFR", [reset, reset])
+        rx_shift.append(flop)
+    for bit in range(DATA_BITS):
+        upper = (rx_shift[bit + 1] if bit + 1 < DATA_BITS
+                 else rxd_sync)
+        shifted = builder.mux(rx_capture, rx_shift[bit], upper)
+        _rewire_input(builder, rx_shift[bit], 0, shifted)
+
+    rx_parity_flop = builder.netlist.add_gate("DFFR", [reset, reset])
+    rx_in_start = builder.buf(reset)  # patched: START state (clears)
+    rx_parity_next = builder.mux(
+        rx_in_start,
+        builder.mux(rx_capture, rx_parity_flop,
+                    builder.xor(rx_parity_flop, rxd_sync)),
+        builder.const0(),
+    )
+    _rewire_input(builder, rx_parity_flop, 0, rx_parity_next)
+
+    rx_spec = FsmSpec(
+        "uart_rx",
+        states=["IDLE", "START", "DATA", "PARITY", "STOP"],
+        reset_state="IDLE",
+    )
+    rx_spec.transition("IDLE", "START", when="~line")
+    rx_spec.transition("START", "IDLE", when="sample & line")  # glitch
+    rx_spec.transition("START", "DATA", when="tick")
+    rx_spec.transition("DATA", "PARITY", when="last_bit")
+    rx_spec.transition("PARITY", "STOP", when="tick")
+    rx_spec.transition("STOP", "IDLE", when="tick")
+    rx_fsm = synthesize_fsm(
+        rx_spec, builder,
+        inputs={"line": rxd_sync, "tick": rx_tick,
+                "sample": rx_sample, "last_bit": rx_last_bit},
+        reset=reset, encoding="one-hot",
+    )
+    rx_state = rx_fsm.state_bits
+
+    _rewire_input(builder, rx_tick_enable, 0,
+                  builder.not_(rx_state["IDLE"]))
+    _rewire_input(builder, rx_bit_enable, 0, rx_state["DATA"])
+    _rewire_input(builder, rx_capture, 0,
+                  builder.and_(rx_state["DATA"], rx_sample))
+    _rewire_input(builder, rx_in_start, 0, rx_state["START"])
+
+    # Parity/stop sampling and completion flags.
+    parity_sampled = builder.dffe(
+        rxd_sync, builder.and_(rx_state["PARITY"], rx_sample)
+    )
+    stop_sampled = builder.dffe(
+        rxd_sync, builder.and_(rx_state["STOP"], rx_sample)
+    )
+    frame_done = builder.and_(rx_state["STOP"], rx_tick)
+    rx_valid_raw = builder.dffr(frame_done, reset)
+    parity_ok = builder.xnor(parity_sampled, rx_parity_flop)
+    rx_parity_err = builder.and_(rx_valid_raw, builder.not_(parity_ok))
+    rx_frame_err = builder.and_(rx_valid_raw,
+                                builder.not_(stop_sampled))
+    rx_valid = builder.and_(rx_valid_raw, parity_ok, stop_sampled)
+
+    # Received byte registered at frame completion.
+    rx_data = builder.register(rx_shift, enable=frame_done)
+
+    # ------------------------------------------------------------------
+    # Primary outputs
+    # ------------------------------------------------------------------
+    builder.output(txd, "txd")
+    builder.output(tx_fsm.outputs["busy"], "tx_busy")
+    builder.output(tx_fsm.outputs["done"], "tx_done")
+    builder.output_bus(rx_data, "rx_data")
+    builder.output(rx_valid, "rx_valid")
+    builder.output(rx_frame_err, "rx_frame_err")
+    builder.output(rx_parity_err, "rx_parity_err")
+    builder.output(rx_state["IDLE"], "rx_idle")
+
+    return builder.netlist

@@ -1,0 +1,337 @@
+"""End-to-end fault-criticality analysis (Figure 2 of the paper).
+
+:class:`FaultCriticalityAnalyzer` chains the full flow for one design:
+
+    netlist -> graph + node features
+            -> fault-injection campaign over diverse workloads
+            -> criticality dataset (Algorithm 1)
+            -> GCN classifier (Table 1) + baselines on an 80/20 split
+            -> GCN regressor for continuous criticality scores
+            -> GNNExplainer interpretations
+
+Each stage is lazily computed and cached, so callers can run only what
+they need (e.g. ``analyzer.classifier`` without ever explaining).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import AnalyzerConfig
+from repro.explain import (
+    Explanation,
+    GlobalImportance,
+    GNNExplainer,
+    aggregate_importance,
+)
+from repro.features import NodeFeatures, extract_features
+from repro.fi import (
+    CampaignResult,
+    CriticalityDataset,
+    dataset_from_campaign,
+    run_campaign,
+)
+from repro.graph import GraphData, Split, build_graph_data, stratified_split
+from repro.metrics import (
+    ConfusionMatrix,
+    RocCurve,
+    accuracy,
+    classification_conformity,
+    pearson,
+    roc_curve,
+)
+from repro.models import (
+    BASELINE_NAMES,
+    GCNClassifier,
+    GCNRegressor,
+    make_classifier,
+)
+from repro.netlist.netlist import Netlist
+from repro.sim import Workload, design_workloads
+from repro.utils.errors import ModelError
+
+
+@dataclass
+class NodeReport:
+    """One row of the paper's Table 2."""
+
+    design: str
+    node_name: str
+    classification: str            # "Critical" / "Non-critical"
+    feature_scores: Dict[str, float]
+    criticality_score: float
+    ground_truth_score: float
+
+    def as_row(self) -> Dict[str, object]:
+        row: Dict[str, object] = {
+            "design": self.design,
+            "node": self.node_name,
+            "classification": self.classification,
+        }
+        for name, value in self.feature_scores.items():
+            row[name] = round(value, 2)
+        row["criticality score"] = round(self.criticality_score, 2)
+        return row
+
+
+class FaultCriticalityAnalyzer:
+    """The framework's main entry point for one design."""
+
+    def __init__(self, netlist: Netlist,
+                 config: Optional[AnalyzerConfig] = None,
+                 workloads: Optional[Sequence[Workload]] = None):
+        self.netlist = netlist
+        self.config = config or AnalyzerConfig()
+        self._workloads: Optional[List[Workload]] = (
+            list(workloads) if workloads is not None else None
+        )
+        self._campaign: Optional[CampaignResult] = None
+        self._dataset: Optional[CriticalityDataset] = None
+        self._features: Optional[NodeFeatures] = None
+        self._data: Optional[GraphData] = None
+        self._split: Optional[Split] = None
+        self._classifier: Optional[GCNClassifier] = None
+        self._regressor: Optional[GCNRegressor] = None
+        self._explainer: Optional[GNNExplainer] = None
+
+    # ------------------------------------------------------------------
+    # pipeline stages (lazy, cached)
+    # ------------------------------------------------------------------
+    @property
+    def workloads(self) -> List[Workload]:
+        """The diverse workload suite (generated on first use)."""
+        if self._workloads is None:
+            self._workloads = design_workloads(
+                self.netlist.name, self.netlist,
+                count=self.config.n_workloads,
+                cycles=self.config.workload_cycles,
+                seed=self.config.seed,
+            )
+        return self._workloads
+
+    @property
+    def campaign(self) -> CampaignResult:
+        """The fault-injection campaign result."""
+        if self._campaign is None:
+            self._campaign = run_campaign(
+                self.netlist, self.workloads,
+                severity=self.config.severity,
+            )
+        return self._campaign
+
+    @property
+    def dataset(self) -> CriticalityDataset:
+        """Algorithm 1's node scores and labels."""
+        if self._dataset is None:
+            self._dataset = dataset_from_campaign(
+                self.campaign,
+                threshold=self.config.criticality_threshold,
+            )
+        return self._dataset
+
+    @property
+    def features(self) -> NodeFeatures:
+        """The §3.1 node feature matrix."""
+        if self._features is None:
+            self._features = extract_features(
+                self.netlist,
+                workloads=self.workloads
+                if self.config.probability_source == "simulation" else None,
+                probability_source=self.config.probability_source,
+                extended=self.config.extended_features,
+            )
+        return self._features
+
+    @property
+    def data(self) -> GraphData:
+        """Graph + features + labels, ready for models."""
+        if self._data is None:
+            self._data = build_graph_data(
+                self.netlist, self.features, self.dataset
+            )
+        return self._data
+
+    @property
+    def split(self) -> Split:
+        """The stratified 80/20 node split."""
+        if self._split is None:
+            self._split = stratified_split(
+                self.data.y_class, self.config.val_fraction,
+                seed=(self.config.seed, "split"),
+            )
+        return self._split
+
+    @property
+    def classifier(self) -> GCNClassifier:
+        """The trained Table 1 GCN classifier."""
+        if self._classifier is None:
+            model = GCNClassifier(
+                hidden_dims=self.config.hidden_dims,
+                dropout=self.config.dropout,
+                adjacency_mode=self.config.adjacency_mode,
+                self_loops=self.config.self_loops,
+                seed=(self.config.seed, "gcn"),
+                config=self.config.training,
+            )
+            self._classifier = model.fit(self.data, self.split)
+        return self._classifier
+
+    @property
+    def regressor(self) -> GCNRegressor:
+        """The trained criticality-score regressor (§3.4)."""
+        if self._regressor is None:
+            model = GCNRegressor(
+                hidden_dims=self.config.hidden_dims,
+                dropout=self.config.dropout,
+                adjacency_mode=self.config.adjacency_mode,
+                self_loops=self.config.self_loops,
+                seed=(self.config.seed, "gcn-regressor"),
+                config=self.config.regressor_training,
+            )
+            self._regressor = model.fit(self.data, self.split)
+        return self._regressor
+
+    @property
+    def explainer(self) -> GNNExplainer:
+        """GNNExplainer bound to the trained classifier."""
+        if self._explainer is None:
+            self._explainer = GNNExplainer(
+                self.classifier, self.data,
+                seed=(self.config.seed, "explainer"),
+            )
+        return self._explainer
+
+    # ------------------------------------------------------------------
+    # evaluation views
+    # ------------------------------------------------------------------
+    def validation_accuracy(self) -> float:
+        """GCN accuracy on the held-out nodes (the headline metric)."""
+        return self.classifier.accuracy(self.split.val_mask)
+
+    def validation_roc(self) -> RocCurve:
+        """ROC of the GCN's critical-class probability on held-out
+        nodes (Figure 4)."""
+        probabilities = self.classifier.predict_proba()[:, 1]
+        mask = self.split.val_mask
+        return roc_curve(self.data.y_class[mask], probabilities[mask])
+
+    def validation_confusion(self) -> ConfusionMatrix:
+        """Confusion counts on the held-out nodes."""
+        mask = self.split.val_mask
+        return ConfusionMatrix.from_predictions(
+            self.data.y_class[mask], self.classifier.predict()[mask]
+        )
+
+    def baseline_accuracies(
+        self, names: Sequence[str] = BASELINE_NAMES
+    ) -> Dict[str, float]:
+        """Validation accuracy of each baseline classifier."""
+        data, split = self.data, self.split
+        results: Dict[str, float] = {}
+        for name in names:
+            model = make_classifier(name)
+            model.fit(data.x[split.train_mask],
+                      data.y_class[split.train_mask])
+            results[name] = model.score(
+                data.x[split.val_mask], data.y_class[split.val_mask]
+            )
+        return results
+
+    def baseline_rocs(
+        self, names: Sequence[str] = BASELINE_NAMES
+    ) -> Dict[str, RocCurve]:
+        """Validation ROC curves of each baseline (Figure 4)."""
+        data, split = self.data, self.split
+        curves: Dict[str, RocCurve] = {}
+        for name in names:
+            model = make_classifier(name)
+            model.fit(data.x[split.train_mask],
+                      data.y_class[split.train_mask])
+            scores = model.predict_proba(data.x[split.val_mask])[:, 1]
+            curves[name] = roc_curve(
+                data.y_class[split.val_mask], scores
+            )
+        return curves
+
+    def regression_quality(self) -> Dict[str, float]:
+        """Score-prediction metrics on held-out nodes, including the
+        >85 % classifier/regressor conformity claim of §5."""
+        mask = self.split.val_mask
+        predicted = self.regressor.predict()
+        return {
+            "pearson": pearson(predicted[mask], self.data.y_score[mask]),
+            "conformity_with_classifier": classification_conformity(
+                predicted[mask],
+                self.classifier.predict()[mask],
+                threshold=self.config.criticality_threshold,
+            ),
+            "conformity_with_labels": classification_conformity(
+                predicted[mask],
+                self.data.y_class[mask],
+                threshold=self.config.criticality_threshold,
+            ),
+        }
+
+    def explain_nodes(self, nodes: Sequence["str | int"]
+                      ) -> List[Explanation]:
+        """Per-node GNNExplainer interpretations."""
+        return self.explainer.explain_many(nodes)
+
+    def global_importance(
+        self, sample: int = 40
+    ) -> GlobalImportance:
+        """Aggregated feature importance over ``sample`` held-out nodes
+        (Eq. 3 / Figure 5b)."""
+        candidates = np.flatnonzero(self.split.val_mask)
+        rng = np.random.default_rng(self.config.seed)
+        if len(candidates) > sample:
+            candidates = rng.choice(candidates, sample, replace=False)
+        explanations = self.explain_nodes([int(c) for c in candidates])
+        return aggregate_importance(explanations)
+
+    def node_report(self, nodes: Sequence["str | int"]) -> List[NodeReport]:
+        """Table 2 rows: classification, feature importances, predicted
+        criticality score — for the named nodes."""
+        data = self.data
+        predictions = self.classifier.predict()
+        scores = self.regressor.predict()
+        explanations = self.explain_nodes(nodes)
+        reports: List[NodeReport] = []
+        for node, explanation in zip(nodes, explanations):
+            index = (
+                data.node_index(node) if isinstance(node, str) else int(node)
+            )
+            reports.append(NodeReport(
+                design=data.design,
+                node_name=data.node_names[index],
+                classification=(
+                    "Critical" if predictions[index] == 1
+                    else "Non-critical"
+                ),
+                feature_scores=dict(zip(
+                    explanation.feature_names,
+                    (float(v) for v in explanation.feature_scores),
+                )),
+                criticality_score=float(scores[index]),
+                ground_truth_score=float(data.y_score[index]),
+            ))
+        return reports
+
+    def summary(self) -> Dict[str, object]:
+        """One-line-per-fact overview of the full analysis."""
+        try:
+            auc = round(self.validation_roc().auc, 4)
+        except ModelError:
+            auc = None  # single-class validation fold
+        return {
+            "design": self.netlist.name,
+            "nodes": self.data.n_nodes,
+            "critical_fraction": round(float(self.data.y_class.mean()), 4),
+            "workloads": len(self.workloads),
+            "gcn_accuracy": round(self.validation_accuracy(), 4),
+            "gcn_auc": auc,
+            "fi_seconds": round(self.campaign.simulation_seconds, 2),
+        }

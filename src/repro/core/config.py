@@ -1,0 +1,44 @@
+"""End-to-end pipeline configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple, Union
+
+from repro.fi.dataset import DEFAULT_THRESHOLD
+from repro.nn.training import TrainingConfig
+
+
+@dataclass
+class AnalyzerConfig:
+    """Knobs for :class:`~repro.core.analyzer.FaultCriticalityAnalyzer`.
+
+    Defaults mirror the paper's experimental setup: 80/20 node split,
+    criticality threshold 0.5, Table 1 GCN architecture, and a diverse
+    16-workload FI campaign.
+    """
+
+    # --- workload / fault-injection stage ---
+    n_workloads: int = 16
+    workload_cycles: int = 200
+    #: "auto" = the design's registered FuSa severity policy
+    severity: Union[float, str] = "auto"
+    criticality_threshold: float = DEFAULT_THRESHOLD
+
+    # --- feature stage ---
+    probability_source: str = "simulation"  # or "cop"
+    extended_features: bool = False
+
+    # --- model stage ---
+    val_fraction: float = 0.2
+    hidden_dims: Tuple[int, ...] = (16, 32, 64)
+    dropout: float = 0.3
+    adjacency_mode: str = "symmetric"
+    self_loops: bool = True
+    training: TrainingConfig = field(default_factory=TrainingConfig)
+    regressor_training: TrainingConfig = field(
+        default_factory=lambda: TrainingConfig(lr=0.005, epochs=400)
+    )
+
+    # --- reproducibility ---
+    seed: int = 0

@@ -1,0 +1,22 @@
+"""Explainability: GNNExplainer and global feature-importance
+aggregation (Eq. 3)."""
+
+from repro.explain.aggregate import (
+    GlobalImportance,
+    aggregate_importance,
+    combine_importance,
+)
+from repro.explain.gnn_explainer import (
+    ExplainerConfig,
+    Explanation,
+    GNNExplainer,
+)
+
+__all__ = [
+    "GlobalImportance",
+    "aggregate_importance",
+    "combine_importance",
+    "ExplainerConfig",
+    "Explanation",
+    "GNNExplainer",
+]

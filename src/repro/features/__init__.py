@@ -1,0 +1,45 @@
+"""Node feature extraction: structural descriptors and signal
+probabilities (simulation-based and analytic COP)."""
+
+from repro.features.extract import (
+    EXTENDED_FEATURE_NAMES,
+    FEATURE_NAMES,
+    NodeFeatures,
+    extract_features,
+)
+from repro.features.probability import (
+    ProbabilityFeatures,
+    cop_probabilities,
+    from_golden_stats,
+    simulate_probabilities,
+)
+from repro.features.scoap import ScoapMeasures, compute_scoap
+from repro.features.structural import (
+    connection_counts,
+    fanin_counts,
+    fanout_counts,
+    inverting_tags,
+    is_sequential_flags,
+    logic_levels,
+    output_distances,
+)
+
+__all__ = [
+    "EXTENDED_FEATURE_NAMES",
+    "FEATURE_NAMES",
+    "NodeFeatures",
+    "extract_features",
+    "ProbabilityFeatures",
+    "cop_probabilities",
+    "from_golden_stats",
+    "simulate_probabilities",
+    "ScoapMeasures",
+    "compute_scoap",
+    "connection_counts",
+    "fanin_counts",
+    "fanout_counts",
+    "inverting_tags",
+    "is_sequential_flags",
+    "logic_levels",
+    "output_distances",
+]

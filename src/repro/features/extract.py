@@ -1,0 +1,199 @@
+"""Node feature-matrix assembly (§3.1 of the paper).
+
+The canonical feature set — in the exact order the paper's Table 2 and
+Figure 5 report them — is:
+
+1. Number of connections (fan-ins + fan-outs)
+2. Intrinsic state probability of 0
+3. Intrinsic state probability of 1
+4. State transition probability
+5. Boolean inverting tag
+
+:func:`extract_features` builds the ``N x F`` matrix for a design, with
+probabilities measured from golden simulation of a workload suite
+(default) or computed analytically (COP).  An extended feature set with
+additional structural descriptors is available for the ablation
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.features.probability import (
+    ProbabilityFeatures,
+    cop_probabilities,
+    simulate_probabilities,
+)
+from repro.features.structural import (
+    connection_counts,
+    fanin_counts,
+    fanout_counts,
+    inverting_tags,
+    is_sequential_flags,
+    logic_levels,
+    output_distances,
+)
+from repro.netlist.netlist import Netlist
+from repro.sim.waveform import Workload
+from repro.utils.errors import SimulationError
+
+#: Canonical feature names, matching the paper's Table 2 columns.
+FEATURE_NAMES: List[str] = [
+    "Number of connections",
+    "Intrinsic state probability of 0",
+    "Intrinsic state probability of 1",
+    "State transition probability",
+    "Boolean inverting tag",
+]
+
+#: Additional structural features for ablation studies.
+EXTENDED_FEATURE_NAMES: List[str] = [
+    "Fan-in count",
+    "Fan-out count",
+    "Logic level",
+    "Output distance",
+    "Is sequential",
+    "SCOAP CC0",
+    "SCOAP CC1",
+    "SCOAP CO",
+]
+
+
+@dataclass
+class NodeFeatures:
+    """A design's node feature matrix plus naming metadata."""
+
+    design: str
+    node_names: List[str]
+    feature_names: List[str]
+    matrix: np.ndarray  # float64, shape (n_nodes, n_features)
+
+    def __post_init__(self) -> None:
+        self.matrix = np.asarray(self.matrix, dtype=np.float64)
+        if self.matrix.shape != (len(self.node_names),
+                                 len(self.feature_names)):
+            raise SimulationError("feature matrix shape mismatch")
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.node_names)
+
+    @property
+    def n_features(self) -> int:
+        return len(self.feature_names)
+
+    def column(self, feature_name: str) -> np.ndarray:
+        """One feature column by name."""
+        try:
+            index = self.feature_names.index(feature_name)
+        except ValueError:
+            raise SimulationError(
+                f"unknown feature {feature_name!r}"
+            ) from None
+        return self.matrix[:, index]
+
+    def row(self, node_name: str) -> np.ndarray:
+        """One node's feature vector by name."""
+        try:
+            index = self.node_names.index(node_name)
+        except ValueError:
+            raise SimulationError(f"unknown node {node_name!r}") from None
+        return self.matrix[index]
+
+    def without(self, feature_name: str) -> "NodeFeatures":
+        """A copy with one feature column removed (for ablations)."""
+        try:
+            drop = self.feature_names.index(feature_name)
+        except ValueError:
+            raise SimulationError(
+                f"unknown feature {feature_name!r}"
+            ) from None
+        keep = [i for i in range(self.n_features) if i != drop]
+        return NodeFeatures(
+            design=self.design,
+            node_names=list(self.node_names),
+            feature_names=[self.feature_names[i] for i in keep],
+            matrix=self.matrix[:, keep],
+        )
+
+    def standardized(self) -> "NodeFeatures":
+        """Z-score standardized copy (constant columns pass through)."""
+        mean = self.matrix.mean(axis=0)
+        std = self.matrix.std(axis=0)
+        std[std == 0.0] = 1.0
+        return NodeFeatures(
+            design=self.design,
+            node_names=list(self.node_names),
+            feature_names=list(self.feature_names),
+            matrix=(self.matrix - mean) / std,
+        )
+
+
+def extract_features(
+    netlist: Netlist,
+    workloads: Optional[Sequence[Workload]] = None,
+    probability_source: str = "simulation",
+    extended: bool = False,
+) -> NodeFeatures:
+    """Build the node feature matrix for ``netlist``.
+
+    Args:
+        netlist: The design.
+        workloads: Golden-simulation stimulus for the probability
+            features (required when ``probability_source`` is
+            ``"simulation"``).
+        probability_source: ``"simulation"`` (paper's flow) or
+            ``"cop"`` (analytic propagation, workload-free).
+        extended: Append the extra structural feature columns.
+
+    Returns:
+        A :class:`NodeFeatures` with one row per gate, in gate order.
+    """
+    if probability_source == "simulation":
+        if not workloads:
+            raise SimulationError(
+                "simulation-based probabilities need workloads; pass "
+                "workloads= or use probability_source='cop'"
+            )
+        probabilities = simulate_probabilities(netlist, workloads)
+    elif probability_source == "cop":
+        probabilities = cop_probabilities(netlist)
+    else:
+        raise SimulationError(
+            f"unknown probability source {probability_source!r}"
+        )
+
+    columns = [
+        connection_counts(netlist),
+        probabilities.state_probability_zero,
+        probabilities.state_probability_one,
+        probabilities.transition_probability,
+        inverting_tags(netlist),
+    ]
+    names = list(FEATURE_NAMES)
+    if extended:
+        from repro.features.scoap import compute_scoap
+
+        scoap = compute_scoap(netlist)
+        columns.extend([
+            fanin_counts(netlist),
+            fanout_counts(netlist),
+            logic_levels(netlist),
+            output_distances(netlist),
+            is_sequential_flags(netlist),
+            scoap.gate_cc0,
+            scoap.gate_cc1,
+            scoap.gate_co,
+        ])
+        names.extend(EXTENDED_FEATURE_NAMES)
+
+    return NodeFeatures(
+        design=netlist.name,
+        node_names=netlist.node_names(),
+        feature_names=names,
+        matrix=np.column_stack(columns),
+    )

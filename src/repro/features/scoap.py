@@ -1,0 +1,183 @@
+"""SCOAP testability measures — extension feature source.
+
+The Sandia Controllability/Observability Analysis Program (Goldstein,
+1979) assigns each net three integer difficulty measures:
+
+* ``CC0``/``CC1`` — combinational 0-/1-controllability: how hard it is
+  to drive the net to 0/1 from the primary inputs;
+* ``CO`` — combinational observability: how hard it is to propagate the
+  net's value to a primary output.
+
+These are the classic pre-ML proxies for fault detectability, so they
+make a meaningful extended feature set for the criticality model (a
+node that is hard to control *and* hard to observe rarely produces
+functional failures; one that is trivially observable usually does).
+
+The implementation is exact per cell — controllability and sensitization
+costs are derived from each cell's truth table rather than per-gate-type
+formulas, so every library cell (including the AOI/OAI complex gates and
+MUX) is handled uniformly.  Sequential elements use the full-scan
+convention: flip-flop outputs are controllable like primary inputs
+(CC = 1) and flip-flop inputs are observable like primary outputs
+(CO = 0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.netlist.cells import Cell
+from repro.netlist.netlist import Netlist
+
+#: Cost cap standing in for "uncontrollable/unobservable" (avoids
+#: overflow on reconvergent worst cases).
+INFINITE = 10**6
+
+
+@dataclass
+class ScoapMeasures:
+    """Per-net and per-gate SCOAP values."""
+
+    net_cc0: np.ndarray
+    net_cc1: np.ndarray
+    net_co: np.ndarray
+    #: per-gate views of the gate's output net
+    gate_cc0: np.ndarray
+    gate_cc1: np.ndarray
+    gate_co: np.ndarray
+
+    @property
+    def gate_testability(self) -> np.ndarray:
+        """Combined per-gate difficulty: min(CC0, CC1) + CO — the cost
+        of exciting the easier stuck-at fault and observing it."""
+        return np.minimum(self.gate_cc0, self.gate_cc1) + self.gate_co
+
+
+def _cubes(n_inputs: int):
+    """All input cubes: tuples over {0, 1, None} (None = don't-care)."""
+    from itertools import product
+
+    return product((0, 1, None), repeat=n_inputs)
+
+
+def _completions(cube):
+    """All full assignments consistent with a cube."""
+    from itertools import product
+
+    free = [i for i, bit in enumerate(cube) if bit is None]
+    for values in product((0, 1), repeat=len(free)):
+        full = list(cube)
+        for position, value in zip(free, values):
+            full[position] = value
+        yield tuple(full)
+
+
+def _cell_controllability(cell: Cell, cc0: List[int],
+                          cc1: List[int]) -> Tuple[int, int]:
+    """Exact output CC0/CC1 via cube enumeration.
+
+    A cube's cost charges only its *specified* inputs (an OR output is 1
+    as soon as one input is 1 — the other input is free), matching the
+    textbook SCOAP rules exactly while covering every library cell,
+    including the AOI/OAI complex gates, from its truth table.
+    """
+    table = {bits: out for bits, out in cell.truth_table()}
+    best = {0: INFINITE, 1: INFINITE}
+    for cube in _cubes(cell.n_inputs):
+        outputs = {table[full] for full in _completions(cube)}
+        if len(outputs) != 1:
+            continue
+        value = outputs.pop()
+        cost = 1
+        for position, bit in enumerate(cube):
+            if bit is None:
+                continue
+            cost += cc1[position] if bit else cc0[position]
+        if cost < best[value]:
+            best[value] = cost
+    return min(best[0], INFINITE), min(best[1], INFINITE)
+
+
+def _sensitization_cost(cell: Cell, port: int, cc0: List[int],
+                        cc1: List[int]) -> int:
+    """Cheapest fully-specified side-input assignment that propagates a
+    change on ``port`` to the output.
+
+    Side inputs are charged even when the gate is sensitized for either
+    value (XOR): classic SCOAP holds the side inputs at a *known* value,
+    so ``CO(a) = CO(z) + min(CC0(b), CC1(b)) + 1`` for an XOR.
+    """
+    table = {bits: out for bits, out in cell.truth_table()}
+    best = INFINITE
+    for bits, out in table.items():
+        flipped = list(bits)
+        flipped[port] = 1 - flipped[port]
+        if table[tuple(flipped)] == out:
+            continue  # this assignment does not sensitize the port
+        cost = 1
+        for position, bit in enumerate(bits):
+            if position == port:
+                continue
+            cost += cc1[position] if bit else cc0[position]
+        best = min(best, cost)
+    return best
+
+
+def compute_scoap(netlist: Netlist) -> ScoapMeasures:
+    """Compute SCOAP measures for every net and gate of ``netlist``."""
+    n_nets = netlist.n_nets
+    cc0 = np.full(n_nets, INFINITE, dtype=np.int64)
+    cc1 = np.full(n_nets, INFINITE, dtype=np.int64)
+
+    for net in netlist.input_nets():
+        cc0[net] = 1
+        cc1[net] = 1
+    for gate in netlist.sequential_gates():
+        cc0[gate.output] = 1  # full-scan convention
+        cc1[gate.output] = 1
+
+    order = [
+        netlist.gates[index]
+        for index in netlist.topological_order()
+        if not netlist.gates[index].is_sequential
+    ]
+    for gate in order:
+        in_cc0 = [int(cc0[net]) for net in gate.inputs]
+        in_cc1 = [int(cc1[net]) for net in gate.inputs]
+        zero, one = _cell_controllability(gate.cell, in_cc0, in_cc1)
+        cc0[gate.output] = min(zero, INFINITE)
+        cc1[gate.output] = min(one, INFINITE)
+
+    # Observability: reverse topological sweep.
+    co = np.full(n_nets, INFINITE, dtype=np.int64)
+    for net, _ in netlist.primary_outputs:
+        co[net] = 0
+    for gate in netlist.sequential_gates():  # full-scan: D pins observable
+        for net in gate.inputs:
+            co[net] = min(co[net], 0)
+
+    for gate in reversed(order):
+        out_co = int(co[gate.output])
+        if out_co >= INFINITE:
+            continue
+        in_cc0 = [int(cc0[net]) for net in gate.inputs]
+        in_cc1 = [int(cc1[net]) for net in gate.inputs]
+        for port, net in enumerate(gate.inputs):
+            cost = _sensitization_cost(gate.cell, port, in_cc0, in_cc1)
+            candidate = min(out_co + cost, INFINITE)
+            if candidate < co[net]:
+                co[net] = candidate
+
+    output_nets = np.array([gate.output for gate in netlist.gates],
+                           dtype=np.intp)
+    return ScoapMeasures(
+        net_cc0=cc0,
+        net_cc1=cc1,
+        net_co=co,
+        gate_cc0=cc0[output_nets].astype(np.float64),
+        gate_cc1=cc1[output_nets].astype(np.float64),
+        gate_co=co[output_nets].astype(np.float64),
+    )

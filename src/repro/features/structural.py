@@ -1,0 +1,86 @@
+"""Structural node features.
+
+Covers the paper's two structure-derived features — the connection
+count (§3.1.1) and the Boolean inverting tag (§3.1.4) — plus extra
+structural descriptors (logic level, output distance, fanin/fanout
+split) used by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.netlist.netlist import Netlist
+
+
+def connection_counts(netlist: Netlist) -> np.ndarray:
+    """Per-gate total connections: fan-ins plus fan-outs (§3.1.1)."""
+    return np.array([
+        netlist.fanin_count(gate) + netlist.fanout_count(gate)
+        for gate in netlist.gates
+    ], dtype=np.float64)
+
+
+def fanin_counts(netlist: Netlist) -> np.ndarray:
+    """Per-gate fan-in connection count."""
+    return np.array(
+        [netlist.fanin_count(gate) for gate in netlist.gates],
+        dtype=np.float64,
+    )
+
+
+def fanout_counts(netlist: Netlist) -> np.ndarray:
+    """Per-gate fan-out connection count."""
+    return np.array(
+        [netlist.fanout_count(gate) for gate in netlist.gates],
+        dtype=np.float64,
+    )
+
+
+def inverting_tags(netlist: Netlist) -> np.ndarray:
+    """Per-gate Boolean tag: 1 when the cell negates logic (§3.1.4)."""
+    return np.array(
+        [1.0 if gate.cell.inverting else 0.0 for gate in netlist.gates]
+    )
+
+
+def logic_levels(netlist: Netlist) -> np.ndarray:
+    """Per-gate topological level (flops at level 0)."""
+    return np.array(netlist.levelize(), dtype=np.float64)
+
+
+def is_sequential_flags(netlist: Netlist) -> np.ndarray:
+    """Per-gate flag: 1 for flip-flops."""
+    return np.array(
+        [1.0 if gate.is_sequential else 0.0 for gate in netlist.gates]
+    )
+
+
+def output_distances(netlist: Netlist) -> np.ndarray:
+    """Per-gate shortest forward distance (in gates) to any primary
+    output, treating flip-flops as unit hops.  Gates that cannot reach
+    an output get the design's gate count (should not happen in a
+    validated netlist)."""
+    unreachable = float(netlist.n_gates)
+    distance = np.full(netlist.n_gates, unreachable)
+
+    po_nets = {net for net, _ in netlist.primary_outputs}
+    frontier: List[int] = []
+    for gate in netlist.gates:
+        if gate.output in po_nets:
+            distance[gate.index] = 0.0
+            frontier.append(gate.index)
+
+    # Reverse BFS over driving gates.
+    cursor = 0
+    while cursor < len(frontier):
+        gate_index = frontier[cursor]
+        cursor += 1
+        next_distance = distance[gate_index] + 1.0
+        for driver in netlist.fanin_gates(netlist.gates[gate_index]):
+            if next_distance < distance[driver]:
+                distance[driver] = next_distance
+                frontier.append(driver)
+    return distance

@@ -1,0 +1,76 @@
+"""Fault injection: stuck-at fault models, the bit-parallel campaign
+runner (the Xcelium stand-in), per-workload reports, and Algorithm 1
+dataset generation."""
+
+from repro.fi.campaign import CampaignResult, run_campaign
+from repro.fi.dataset import (
+    DEFAULT_THRESHOLD,
+    CriticalityDataset,
+    dataset_from_campaign,
+    generate_dataset,
+)
+from repro.fi.collapse import (
+    CollapsedUniverse,
+    collapse_faults,
+    expand_results,
+)
+from repro.fi.analysis import (
+    always_latent_faults,
+    campaign_summary,
+    coverage_by_workload,
+    criticality_by_cell_type,
+    detection_latency_histogram,
+    undetected_faults,
+)
+from repro.fi.diagnosis import DiagnosisCandidate, FaultDictionary
+from repro.fi.faults import (
+    Fault,
+    faults_for_nodes,
+    full_fault_universe,
+    sample_faults,
+)
+from repro.fi.transient import (
+    TransientFault,
+    run_transient_campaign,
+    transient_fault_universe,
+)
+from repro.fi.testgen import CompactionResult, generate_compact_workloads
+from repro.fi.report import (
+    FaultClass,
+    FaultRecord,
+    WorkloadReport,
+    format_report,
+)
+
+__all__ = [
+    "CampaignResult",
+    "run_campaign",
+    "DEFAULT_THRESHOLD",
+    "CriticalityDataset",
+    "dataset_from_campaign",
+    "generate_dataset",
+    "always_latent_faults",
+    "campaign_summary",
+    "coverage_by_workload",
+    "criticality_by_cell_type",
+    "detection_latency_histogram",
+    "undetected_faults",
+    "DiagnosisCandidate",
+    "FaultDictionary",
+    "CollapsedUniverse",
+    "collapse_faults",
+    "expand_results",
+    "Fault",
+    "faults_for_nodes",
+    "full_fault_universe",
+    "sample_faults",
+    "TransientFault",
+    "run_transient_campaign",
+    "transient_fault_universe",
+    "CompactionResult",
+    "generate_compact_workloads",
+    "FaultClass",
+    "FaultRecord",
+    "WorkloadReport",
+    "format_report",
+]

@@ -1,0 +1,110 @@
+"""Campaign- and dataset-level analysis views.
+
+Aggregations a safety engineer reads off a campaign before any ML:
+criticality by cell type, detection-latency distributions, per-workload
+coverage, and the latent-fault list.  Each returns plain row dicts
+ready for :func:`repro.reporting.render_table`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.fi.campaign import CampaignResult
+from repro.fi.dataset import CriticalityDataset
+from repro.utils.errors import SimulationError
+
+
+def criticality_by_cell_type(
+    dataset: CriticalityDataset,
+    threshold: Optional[float] = None,
+) -> List[Dict[str, object]]:
+    """Group node criticality by cell type (the ``ND2`` of
+    ``ND2_U393``), sorted most-critical first."""
+    threshold = dataset.threshold if threshold is None else threshold
+    by_prefix: Dict[str, List[float]] = {}
+    for node, score in zip(dataset.node_names, dataset.scores):
+        prefix = node.split("_")[0]
+        by_prefix.setdefault(prefix, []).append(float(score))
+    rows = []
+    for prefix, scores in sorted(
+        by_prefix.items(), key=lambda item: -float(np.mean(item[1]))
+    ):
+        values = np.array(scores)
+        rows.append({
+            "cell type": prefix,
+            "nodes": len(scores),
+            "mean criticality": round(float(values.mean()), 3),
+            "critical share":
+                f"{float((values >= threshold).mean()):.0%}",
+        })
+    return rows
+
+
+def detection_latency_histogram(
+    campaign: CampaignResult,
+    edges: Sequence[int] = (10, 50, 100),
+) -> Dict[str, int]:
+    """Histogram of first-detection cycles over all observed
+    (fault, workload) experiments."""
+    detected = campaign.detection_cycle[campaign.detection_cycle >= 0]
+    histogram: Dict[str, int] = {}
+    previous = 0
+    for edge in edges:
+        histogram[f"{previous}-{edge - 1} cycles"] = int(
+            ((detected >= previous) & (detected < edge)).sum()
+        )
+        previous = edge
+    histogram[f">= {previous} cycles"] = int((detected >= previous).sum())
+    return histogram
+
+
+def coverage_by_workload(
+    campaign: CampaignResult,
+) -> List[Dict[str, object]]:
+    """Per-workload detection coverage and Dangerous counts."""
+    rows = []
+    observed = campaign.observed
+    dangerous = campaign.dangerous
+    for row, name in enumerate(campaign.workload_names):
+        rows.append({
+            "workload": name,
+            "observed faults": int(observed[row].sum()),
+            "dangerous faults": int(dangerous[row].sum()),
+            "detection coverage":
+                f"{float(observed[row].mean()):.1%}",
+        })
+    return rows
+
+
+def always_latent_faults(campaign: CampaignResult) -> List[str]:
+    """Faults latent under *every* workload: state corrupted, never
+    functionally observed — the blind spots of the workload suite."""
+    mask = campaign.latent.all(axis=0)
+    return [campaign.faults[i].name for i in np.flatnonzero(mask)]
+
+
+def undetected_faults(campaign: CampaignResult) -> List[str]:
+    """Faults never observed at an output under any workload."""
+    mask = ~campaign.observed.any(axis=0)
+    return [campaign.faults[i].name for i in np.flatnonzero(mask)]
+
+
+def campaign_summary(campaign: CampaignResult) -> Dict[str, object]:
+    """One-row overview of a campaign."""
+    experiments = campaign.error_cycles.size
+    if experiments == 0:
+        raise SimulationError("empty campaign")
+    return {
+        "design": campaign.netlist_name,
+        "faults": len(campaign.faults),
+        "workloads": campaign.n_workloads,
+        "experiments": experiments,
+        "dangerous rate": f"{float(campaign.dangerous.mean()):.1%}",
+        "observed rate": f"{float(campaign.observed.mean()):.1%}",
+        "always latent": len(always_latent_faults(campaign)),
+        "never observed": len(undetected_faults(campaign)),
+        "sim seconds": round(campaign.simulation_seconds, 2),
+    }

@@ -1,0 +1,259 @@
+"""Fault-injection campaign runner.
+
+A campaign replays every workload against the full fault universe on
+the bit-parallel engine (all faults simulate simultaneously, one pass
+per workload) and aggregates the per-(fault, workload) outcomes that
+Algorithm 1 of the paper turns into node criticality scores and labels.
+
+Classification follows FuSa practice: a fault is *Dangerous* under a
+workload when the rate of functionally observed errors (cycles with a
+strobed output mismatch over total cycles) meets the campaign's
+severity threshold — a permanent fault that corrupts an isolated
+transaction out of hundreds is a tolerable glitch, one that derails the
+command stream is a functional failure.  A fault that corrupts internal
+state without ever reaching an output is *Latent*; everything else is
+*Benign*.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.fi.faults import Fault, full_fault_universe
+from repro.fi.report import FaultClass, FaultRecord, WorkloadReport
+from repro.netlist.netlist import Netlist
+from repro.sim.bitparallel import BitParallelSimulator
+from repro.sim.waveform import Workload
+from repro.utils.errors import SimulationError
+
+#: Default functional-error-rate threshold for the Dangerous class.
+DEFAULT_SEVERITY = 0.20
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated outcome of a fault-injection campaign.
+
+    Matrices are indexed ``[workload, fault]``; per-node views aggregate
+    a node's SA0/SA1 pair (a node misbehaves under a workload when any
+    of its faults does).
+    """
+
+    netlist_name: str
+    faults: List[Fault]
+    workload_names: List[str]
+    workload_cycles: np.ndarray    # int64 (n_workloads,)
+    error_cycles: np.ndarray       # int64 (n_workloads, n_faults)
+    detection_cycle: np.ndarray    # int64 (n_workloads, n_faults), -1 = never
+    latent: np.ndarray             # bool (n_workloads, n_faults)
+    severity: float = DEFAULT_SEVERITY
+    #: wall-clock seconds spent simulating (for the cost benchmarks)
+    simulation_seconds: float = 0.0
+
+    @property
+    def n_workloads(self) -> int:
+        return len(self.workload_names)
+
+    @property
+    def error_rate(self) -> np.ndarray:
+        """Per-(workload, fault) functional-error-cycle rate."""
+        return self.error_cycles / self.workload_cycles[:, None]
+
+    @property
+    def dangerous(self) -> np.ndarray:
+        """Bool (n_workloads, n_faults): error rate meets severity."""
+        return self.error_rate >= self.severity
+
+    @property
+    def observed(self) -> np.ndarray:
+        """Bool: at least one functional mismatch occurred."""
+        return self.error_cycles > 0
+
+    @property
+    def node_names(self) -> List[str]:
+        """Distinct node names, in first-appearance (gate) order."""
+        seen: Dict[str, None] = {}
+        for fault in self.faults:
+            seen.setdefault(fault.node_name, None)
+        return list(seen)
+
+    def fault_criticality(self) -> np.ndarray:
+        """Per-fault score: fraction of workloads where it is dangerous."""
+        return self.dangerous.mean(axis=0)
+
+    def node_dangerous_matrix(self) -> np.ndarray:
+        """Bool (n_workloads, n_nodes): any-fault-dangerous per node."""
+        node_names = self.node_names
+        position = {name: i for i, name in enumerate(node_names)}
+        out = np.zeros((self.n_workloads, len(node_names)), dtype=bool)
+        dangerous = self.dangerous
+        for fault_index, fault in enumerate(self.faults):
+            out[:, position[fault.node_name]] |= dangerous[:, fault_index]
+        return out
+
+    def node_fraction_matrix(self) -> np.ndarray:
+        """Float (n_workloads, n_nodes): per workload, the fraction of
+        the node's faults (SA0/SA1) that are Dangerous."""
+        node_names = self.node_names
+        position = {name: i for i, name in enumerate(node_names)}
+        totals = np.zeros((self.n_workloads, len(node_names)))
+        counts = np.zeros(len(node_names))
+        dangerous = self.dangerous
+        for fault_index, fault in enumerate(self.faults):
+            node = position[fault.node_name]
+            totals[:, node] += dangerous[:, fault_index]
+            counts[node] += 1
+        return totals / counts
+
+    def node_criticality(self) -> Dict[str, float]:
+        """Algorithm 1's ``NodeCritic``: per-node criticality score.
+
+        The score averages Dangerous outcomes over both the workload
+        suite and the node's fault pair — "the fraction of the time a
+        fault in the node leads to functional errors": a node whose
+        SA1 breaks every workload but whose SA0 is always tolerated
+        scores 0.5.
+        """
+        scores = self.node_fraction_matrix().mean(axis=0)
+        return dict(zip(self.node_names, scores))
+
+    def node_labels(self, threshold: float = 0.5) -> Dict[str, int]:
+        """Algorithm 1's ``NodeLabel``: 1 when score >= threshold."""
+        return {
+            node: int(score >= threshold)
+            for node, score in self.node_criticality().items()
+        }
+
+    def workload_report(self, workload: str) -> WorkloadReport:
+        """Reconstruct the per-workload fault report."""
+        try:
+            row = self.workload_names.index(workload)
+        except ValueError:
+            raise SimulationError(
+                f"unknown workload {workload!r}"
+            ) from None
+        dangerous = self.dangerous
+        records = []
+        for fault_index, fault in enumerate(self.faults):
+            if dangerous[row, fault_index]:
+                classification = FaultClass.DANGEROUS
+            elif self.latent[row, fault_index]:
+                classification = FaultClass.LATENT
+            else:
+                classification = FaultClass.BENIGN
+            records.append(FaultRecord(
+                fault=fault,
+                classification=classification,
+                detection_cycle=int(self.detection_cycle[row, fault_index]),
+            ))
+        return WorkloadReport(workload=workload, records=records)
+
+    def reports(self) -> List[WorkloadReport]:
+        """All per-workload reports."""
+        return [self.workload_report(name) for name in self.workload_names]
+
+
+def run_campaign(
+    netlist: Netlist,
+    workloads: Sequence[Workload],
+    faults: Optional[Sequence[Fault]] = None,
+    observation="auto",
+    severity="auto",
+    collapse: bool = False,
+) -> CampaignResult:
+    """Run the full fault-injection campaign.
+
+    Args:
+        netlist: Design under test.
+        workloads: Stimulus suite (each replays from reset).
+        faults: Fault list; defaults to the full stuck-at universe.
+        observation: An :class:`~repro.fi.observation.ObservationSpec`,
+            ``None`` to compare every output on every cycle, or
+            ``"auto"`` (default) to use the design's registered
+            functional-observation spec when one exists.
+        severity: Functional-error-rate threshold for Dangerous — a
+            float, or ``"auto"`` (default) to use the design's
+            registered FuSa policy (falling back to
+            :data:`DEFAULT_SEVERITY`).
+        collapse: Simulate only one representative per structural
+            fault-equivalence class and expand the results — same
+            observable outcome, fewer machines (see
+            :mod:`repro.fi.collapse`).
+
+    Returns:
+        A :class:`CampaignResult` with per-(workload, fault) outcomes.
+    """
+    from repro.fi.collapse import collapse_faults, expand_results
+    from repro.fi.observation import (
+        ObservationSpec,
+        observation_for,
+        severity_for,
+    )
+
+    if not workloads:
+        raise SimulationError("campaign needs at least one workload")
+    if severity == "auto":
+        severity = severity_for(netlist, DEFAULT_SEVERITY)
+    if not 0.0 <= severity <= 1.0:
+        raise SimulationError(f"severity {severity} outside [0, 1]")
+    fault_list = list(faults) if faults is not None else (
+        full_fault_universe(netlist)
+    )
+    if not fault_list:
+        raise SimulationError("campaign needs at least one fault")
+
+    if observation == "auto":
+        observation = observation_for(netlist)
+    compiled = (
+        observation.compile(netlist)
+        if isinstance(observation, ObservationSpec) else None
+    )
+
+    universe = collapse_faults(netlist, fault_list) if collapse else None
+    simulated = (
+        universe.representatives if universe is not None else fault_list
+    )
+
+    engine = BitParallelSimulator(netlist)
+    fault_nets = np.array([fault.net_index for fault in simulated],
+                          dtype=np.intp)
+    fault_values = np.array([fault.stuck_at for fault in simulated],
+                            dtype=np.uint8)
+
+    n_workloads = len(workloads)
+    error_cycles = np.zeros((n_workloads, len(simulated)), dtype=np.int64)
+    detection = np.full((n_workloads, len(simulated)), -1, dtype=np.int64)
+    latent = np.zeros((n_workloads, len(simulated)), dtype=bool)
+
+    started = time.perf_counter()
+    for row, workload in enumerate(workloads):
+        row_errors, row_detection, row_latent = engine.run_fault_pass(
+            workload, fault_nets, fault_values, observation=compiled
+        )
+        error_cycles[row] = row_errors
+        detection[row] = row_detection
+        latent[row] = row_latent
+    elapsed = time.perf_counter() - started
+
+    if universe is not None:
+        error_cycles = expand_results(universe, error_cycles)
+        detection = expand_results(universe, detection)
+        latent = expand_results(universe, latent)
+
+    return CampaignResult(
+        netlist_name=netlist.name,
+        faults=fault_list,
+        workload_names=[workload.name for workload in workloads],
+        workload_cycles=np.array(
+            [workload.cycles for workload in workloads], dtype=np.int64
+        ),
+        error_cycles=error_cycles,
+        detection_cycle=detection,
+        latent=latent,
+        severity=severity,
+        simulation_seconds=elapsed,
+    )

@@ -1,0 +1,93 @@
+"""Structural fault collapsing — extension.
+
+Classic fault-simulation speedup: two stuck-at faults are *equivalent*
+when no test can distinguish them, so only one representative per
+equivalence class needs simulating.  With output-located faults the
+exploitable structure is inverter/buffer chains: when a BUF or IV gate
+is the **only** reader of its driver's net (and that net is not a
+primary output), forcing the driver's output is indistinguishable from
+forcing the BUF/IV output (with the polarity flipped through an IV).
+
+:func:`collapse_faults` partitions a fault list into such classes;
+:func:`expand_results` scatters per-representative campaign results
+back onto the full universe, so collapsing is an internal optimization
+with identical observable outcomes (a property the test suite checks
+exactly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.fi.faults import Fault
+from repro.netlist.netlist import Netlist
+
+
+@dataclass
+class CollapsedUniverse:
+    """A fault universe partitioned into equivalence classes."""
+
+    representatives: List[Fault]
+    #: index into ``representatives`` for every fault of the original list
+    class_of: np.ndarray
+    original: List[Fault]
+
+    @property
+    def collapse_ratio(self) -> float:
+        """Fraction of simulations avoided."""
+        if not self.original:
+            return 0.0
+        return 1.0 - len(self.representatives) / len(self.original)
+
+
+def _equivalence_key(netlist: Netlist, fault: Fault) -> Tuple[int, int]:
+    """Follow single-fanout BUF/IV chains downstream to the canonical
+    (net, stuck value) this fault is equivalent to."""
+    net_index = fault.net_index
+    value = fault.stuck_at
+    po_nets = {net for net, _ in netlist.primary_outputs}
+    while True:
+        net = netlist.nets[net_index]
+        if net_index in po_nets or len(net.sinks) != 1:
+            break
+        sink_gate = netlist.gates[net.sinks[0][0]]
+        if sink_gate.cell.name == "BUF":
+            net_index = sink_gate.output
+        elif sink_gate.cell.name == "IV":
+            net_index = sink_gate.output
+            value = 1 - value
+        else:
+            break
+    return net_index, value
+
+
+def collapse_faults(netlist: Netlist,
+                    faults: Sequence[Fault]) -> CollapsedUniverse:
+    """Partition ``faults`` into structural equivalence classes."""
+    classes: Dict[Tuple[int, int], int] = {}
+    representatives: List[Fault] = []
+    class_of = np.zeros(len(faults), dtype=np.intp)
+    for position, fault in enumerate(faults):
+        key = _equivalence_key(netlist, fault)
+        if key not in classes:
+            classes[key] = len(representatives)
+            representatives.append(fault)
+        class_of[position] = classes[key]
+    return CollapsedUniverse(
+        representatives=representatives,
+        class_of=class_of,
+        original=list(faults),
+    )
+
+
+def expand_results(universe: CollapsedUniverse,
+                   per_representative: np.ndarray) -> np.ndarray:
+    """Scatter per-representative result columns onto the full list.
+
+    ``per_representative`` has the representative axis last; the
+    returned array has the original-fault axis last.
+    """
+    return per_representative[..., universe.class_of]

@@ -1,0 +1,162 @@
+"""Fault-dictionary diagnosis — extension.
+
+The inverse problem of fault simulation: a part fails in the field
+under known workloads; which fault site explains the observed
+behaviour?  The classic answer is a *fault dictionary*: the campaign
+already computed, per fault, when and how strongly each workload
+exposes it — store those signatures and rank candidate faults by
+agreement with the observation.
+
+A signature here is the per-workload pair ``(detection_cycle,
+error_cycles)``; matching weights first-detection agreement highest
+(timing is the sharp discriminator), with the error-volume distance as
+the tie-breaker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.fi.campaign import CampaignResult
+from repro.utils.errors import SimulationError
+
+
+@dataclass
+class DiagnosisCandidate:
+    """One ranked explanation of an observed failure."""
+
+    fault_name: str
+    node_name: str
+    score: float                 # in [0, 1]; 1 = signature identical
+    matching_workloads: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.fault_name} (score {self.score:.3f}, "
+            f"{self.matching_workloads} workloads agree)"
+        )
+
+
+class FaultDictionary:
+    """Signature store built from a campaign result."""
+
+    def __init__(self, campaign: CampaignResult):
+        self.campaign = campaign
+        self.workload_names = list(campaign.workload_names)
+        #: (n_workloads, n_faults)
+        self._detection = campaign.detection_cycle
+        self._errors = campaign.error_cycles
+
+    @property
+    def n_faults(self) -> int:
+        return len(self.campaign.faults)
+
+    def signature_of(self, fault_name: str) -> Dict[str, Tuple[int, int]]:
+        """The stored per-workload signature of a named fault."""
+        for index, fault in enumerate(self.campaign.faults):
+            if fault.name == fault_name:
+                return {
+                    workload: (
+                        int(self._detection[row, index]),
+                        int(self._errors[row, index]),
+                    )
+                    for row, workload in enumerate(self.workload_names)
+                }
+        raise SimulationError(f"unknown fault {fault_name!r}")
+
+    def diagnose(
+        self,
+        observed_detection: Mapping[str, int],
+        observed_errors: Optional[Mapping[str, int]] = None,
+        top: int = 5,
+    ) -> List[DiagnosisCandidate]:
+        """Rank candidate faults against an observed failure.
+
+        Args:
+            observed_detection: Per-workload first-mismatch cycle
+                (-1 when the workload passed).  Workloads absent from
+                the mapping are ignored (untested in the field).
+            observed_errors: Optional per-workload error-cycle counts,
+                used as the secondary criterion.
+            top: Number of candidates to return.
+
+        Returns:
+            Candidates sorted best-first.  Equivalent faults (identical
+            signatures) tie exactly — diagnosis resolves to the
+            equivalence class, as fault dictionaries always do.
+        """
+        rows = []
+        detection_values = []
+        for workload, cycle in observed_detection.items():
+            if workload not in self.workload_names:
+                raise SimulationError(
+                    f"unknown workload {workload!r}"
+                )
+            rows.append(self.workload_names.index(workload))
+            detection_values.append(int(cycle))
+        if not rows:
+            raise SimulationError("no observations supplied")
+
+        detection = self._detection[rows]           # (k, n_faults)
+        observed_column = np.array(detection_values)[:, None]
+        detection_match = (detection == observed_column).mean(axis=0)
+
+        if observed_errors is not None:
+            error_rows = []
+            error_values = []
+            for workload, count in observed_errors.items():
+                if workload not in self.workload_names:
+                    raise SimulationError(
+                        f"unknown workload {workload!r}"
+                    )
+                error_rows.append(self.workload_names.index(workload))
+                error_values.append(int(count))
+            errors = self._errors[error_rows].astype(np.float64)
+            observed_errors_column = np.array(
+                error_values, dtype=np.float64
+            )[:, None]
+            distance = np.abs(errors - observed_errors_column)
+            scale = np.maximum(observed_errors_column, 1.0)
+            error_similarity = np.clip(
+                1.0 - distance / scale, 0.0, 1.0
+            ).mean(axis=0)
+        else:
+            error_similarity = np.zeros(self.n_faults)
+
+        # Detection timing dominates; error volume breaks ties.
+        score = 0.9 * detection_match + 0.1 * error_similarity
+
+        order = np.argsort(-score, kind="stable")[:top]
+        matches = (detection == observed_column).sum(axis=0)
+        return [
+            DiagnosisCandidate(
+                fault_name=self.campaign.faults[index].name,
+                node_name=self.campaign.faults[index].node_name,
+                score=float(score[index]),
+                matching_workloads=int(matches[index]),
+            )
+            for index in order
+        ]
+
+    def diagnose_fault_index(self, fault_index: int, top: int = 5,
+                             drop_workloads: int = 0,
+                             ) -> List[DiagnosisCandidate]:
+        """Self-diagnosis helper: feed a stored fault's own signature
+        (optionally with the last ``drop_workloads`` observations
+        withheld) back into :meth:`diagnose` — used by the tests and
+        the example to demonstrate resolution."""
+        keep = len(self.workload_names) - drop_workloads
+        if keep < 1:
+            raise SimulationError("must keep at least one observation")
+        observed_detection = {
+            workload: int(self._detection[row, fault_index])
+            for row, workload in enumerate(self.workload_names[:keep])
+        }
+        observed_errors = {
+            workload: int(self._errors[row, fault_index])
+            for row, workload in enumerate(self.workload_names[:keep])
+        }
+        return self.diagnose(observed_detection, observed_errors, top)

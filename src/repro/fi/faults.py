@@ -1,0 +1,80 @@
+"""Fault models and fault-universe construction.
+
+The paper's campaigns inject permanent stuck-at-0 and stuck-at-1 faults
+on circuit nodes (gates).  A :class:`Fault` pins one gate's output net
+to a constant for an entire simulation; the *node* ``ND2_U393`` has two
+faults, ``ND2_U393/SA0`` and ``ND2_U393/SA1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.netlist.netlist import Netlist
+from repro.utils.errors import SimulationError
+from repro.utils.rng import SeedLike, rng_from_seed
+
+
+@dataclass(frozen=True)
+class Fault:
+    """A permanent stuck-at fault on one gate's output."""
+
+    gate_index: int
+    net_index: int
+    node_name: str
+    stuck_at: int  # 0 or 1
+
+    @property
+    def name(self) -> str:
+        return f"{self.node_name}/SA{self.stuck_at}"
+
+
+def full_fault_universe(netlist: Netlist) -> List[Fault]:
+    """Both stuck-at faults for every gate in the design."""
+    faults: List[Fault] = []
+    for gate in netlist.gates:
+        for stuck_at in (0, 1):
+            faults.append(Fault(
+                gate_index=gate.index,
+                net_index=gate.output,
+                node_name=gate.node_name,
+                stuck_at=stuck_at,
+            ))
+    return faults
+
+
+def faults_for_nodes(netlist: Netlist,
+                     node_names: Sequence[str]) -> List[Fault]:
+    """Both stuck-at faults for the named nodes only."""
+    faults: List[Fault] = []
+    for node_name in node_names:
+        gate = netlist.gate_by_node_name(node_name)
+        for stuck_at in (0, 1):
+            faults.append(Fault(
+                gate_index=gate.index,
+                net_index=gate.output,
+                node_name=gate.node_name,
+                stuck_at=stuck_at,
+            ))
+    return faults
+
+
+def sample_faults(faults: Sequence[Fault], fraction: float,
+                  seed: SeedLike = 0) -> List[Fault]:
+    """Uniformly sample a fraction of a fault list (for quick sweeps).
+
+    Sampling keeps a node's SA0/SA1 pair together so per-node
+    criticality remains well-defined.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise SimulationError(f"fraction {fraction} outside (0, 1]")
+    nodes = sorted({fault.node_name for fault in faults})
+    rng = rng_from_seed(seed)
+    keep_count = max(1, int(round(fraction * len(nodes))))
+    chosen = set(
+        np.array(nodes)[rng.choice(len(nodes), keep_count, replace=False)]
+    )
+    return [fault for fault in faults if fault.node_name in chosen]

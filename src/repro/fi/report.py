@@ -1,0 +1,106 @@
+"""Fault-injection reports.
+
+The campaign's output mirrors what a commercial fault simulator emits
+per workload: one classification per fault — *Dangerous* (a primary
+output diverged from the golden run), *Latent* (internal state was
+corrupted but no output ever diverged), or *Benign* — plus the
+detection latency for dangerous faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, List
+
+from repro.fi.faults import Fault
+
+
+class FaultClass(str, Enum):
+    """Outcome of one (fault, workload) experiment."""
+
+    DANGEROUS = "Dangerous"
+    LATENT = "Latent"
+    BENIGN = "Benign"
+
+
+@dataclass
+class FaultRecord:
+    """One fault's outcome under one workload."""
+
+    fault: Fault
+    classification: FaultClass
+    detection_cycle: int  # -1 when never detected
+
+    @property
+    def node_name(self) -> str:
+        return self.fault.node_name
+
+
+@dataclass
+class WorkloadReport:
+    """All fault outcomes for one workload — the unit Algorithm 1
+    consumes (``Report <- FaultInjection(D, workload)``)."""
+
+    workload: str
+    records: List[FaultRecord]
+
+    def node_classifications(self) -> Dict[str, FaultClass]:
+        """Per-node outcome: a node is Dangerous under a workload when
+        any of its stuck-at faults is, Latent when any is latent and
+        none dangerous, else Benign."""
+        by_node: Dict[str, FaultClass] = {}
+        for record in self.records:
+            node = record.node_name
+            current = by_node.get(node, FaultClass.BENIGN)
+            if record.classification is FaultClass.DANGEROUS:
+                by_node[node] = FaultClass.DANGEROUS
+            elif (record.classification is FaultClass.LATENT
+                  and current is not FaultClass.DANGEROUS):
+                by_node[node] = FaultClass.LATENT
+            else:
+                by_node.setdefault(node, current)
+        return by_node
+
+    def counts(self) -> Dict[str, int]:
+        """Fault-level tallies per classification."""
+        tallies = {cls.value: 0 for cls in FaultClass}
+        for record in self.records:
+            tallies[record.classification.value] += 1
+        return tallies
+
+    def coverage(self) -> float:
+        """Fraction of faults observed at an output (detection
+        coverage, as commercial fault reports define it)."""
+        if not self.records:
+            return 0.0
+        dangerous = sum(
+            1 for record in self.records
+            if record.classification is FaultClass.DANGEROUS
+        )
+        return dangerous / len(self.records)
+
+
+def format_report(report: WorkloadReport, limit: int = 20) -> str:
+    """Human-readable summary of one workload report."""
+    lines = [
+        f"Fault report — workload {report.workload!r}",
+        f"  faults: {len(report.records)}  "
+        + "  ".join(
+            f"{name}: {count}" for name, count in report.counts().items()
+        ),
+        f"  detection coverage: {report.coverage():.1%}",
+    ]
+    dangerous = [
+        record for record in report.records
+        if record.classification is FaultClass.DANGEROUS
+    ]
+    dangerous.sort(key=lambda record: record.detection_cycle)
+    for record in dangerous[:limit]:
+        lines.append(
+            f"    {record.fault.name:<24} detected @ cycle "
+            f"{record.detection_cycle}"
+        )
+    if len(dangerous) > limit:
+        lines.append(f"    ... {len(dangerous) - limit} more")
+    return "\n".join(lines)

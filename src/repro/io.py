@@ -1,0 +1,264 @@
+"""Persistence for campaign results, datasets, and trained models.
+
+Fault-injection campaigns are the expensive stage of the flow, so a
+real deployment runs them once and reuses the results across modelling
+sessions.  Everything serializes to numpy ``.npz`` archives (arrays)
+with JSON-encoded metadata — no pickle, so archives are portable and
+inspectable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.fi.campaign import CampaignResult
+from repro.fi.dataset import CriticalityDataset
+from repro.fi.faults import Fault
+from repro.fi.transient import TransientFault
+from repro.graph.data import GraphData
+from repro.graph.split import Split
+from repro.models.gcn import GCNClassifier, GCNRegressor
+from repro.utils.errors import ReproError
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# campaigns
+# ----------------------------------------------------------------------
+def save_campaign(campaign: CampaignResult, path: PathLike) -> None:
+    """Write a campaign result to an ``.npz`` archive."""
+    first = campaign.faults[0]
+    kind = "transient" if isinstance(first, TransientFault) else "stuck-at"
+    metadata = {
+        "netlist_name": campaign.netlist_name,
+        "workload_names": campaign.workload_names,
+        "severity": campaign.severity,
+        "simulation_seconds": campaign.simulation_seconds,
+        "fault_kind": kind,
+        "fault_node_names": [fault.node_name for fault in campaign.faults],
+    }
+    extra = {}
+    if kind == "stuck-at":
+        extra["fault_values"] = np.array(
+            [fault.stuck_at for fault in campaign.faults], dtype=np.int64
+        )
+    else:
+        extra["fault_injection_cycles"] = np.array(
+            [fault.cycle for fault in campaign.faults], dtype=np.int64
+        )
+    np.savez_compressed(
+        path,
+        metadata=np.frombuffer(
+            json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+        ),
+        fault_gate_index=np.array(
+            [fault.gate_index for fault in campaign.faults],
+            dtype=np.int64,
+        ),
+        fault_net_index=np.array(
+            [fault.net_index for fault in campaign.faults],
+            dtype=np.int64,
+        ),
+        workload_cycles=campaign.workload_cycles,
+        error_cycles=campaign.error_cycles,
+        detection_cycle=campaign.detection_cycle,
+        latent=campaign.latent,
+        **extra,
+    )
+
+
+def load_campaign(path: PathLike) -> CampaignResult:
+    """Read a campaign result written by :func:`save_campaign`."""
+    with np.load(path) as archive:
+        metadata = json.loads(bytes(archive["metadata"]).decode("utf-8"))
+        gate_index = archive["fault_gate_index"]
+        net_index = archive["fault_net_index"]
+        node_names = metadata["fault_node_names"]
+        if metadata["fault_kind"] == "stuck-at":
+            values = archive["fault_values"]
+            faults = [
+                Fault(gate_index=int(g), net_index=int(n),
+                      node_name=name, stuck_at=int(v))
+                for g, n, name, v in zip(gate_index, net_index,
+                                         node_names, values)
+            ]
+        else:
+            cycles = archive["fault_injection_cycles"]
+            faults = [
+                TransientFault(gate_index=int(g), net_index=int(n),
+                               node_name=name, cycle=int(c))
+                for g, n, name, c in zip(gate_index, net_index,
+                                         node_names, cycles)
+            ]
+        return CampaignResult(
+            netlist_name=metadata["netlist_name"],
+            faults=faults,
+            workload_names=list(metadata["workload_names"]),
+            workload_cycles=archive["workload_cycles"],
+            error_cycles=archive["error_cycles"],
+            detection_cycle=archive["detection_cycle"],
+            latent=archive["latent"],
+            severity=float(metadata["severity"]),
+            simulation_seconds=float(metadata["simulation_seconds"]),
+        )
+
+
+# ----------------------------------------------------------------------
+# datasets
+# ----------------------------------------------------------------------
+def save_dataset(dataset: CriticalityDataset, path: PathLike) -> None:
+    """Write an Algorithm 1 dataset to JSON."""
+    trials = (
+        dataset.trials.tolist() if dataset.trials is not None
+        else [None] * dataset.n_nodes
+    )
+    payload = {
+        "design": dataset.design,
+        "threshold": dataset.threshold,
+        "n_workloads": dataset.n_workloads,
+        "nodes": [
+            {"name": name, "score": float(score), "label": int(label),
+             "trials": trial}
+            for name, score, label, trial in zip(
+                dataset.node_names, dataset.scores, dataset.labels,
+                trials,
+            )
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=1),
+                          encoding="utf-8")
+
+
+def load_dataset(path: PathLike) -> CriticalityDataset:
+    """Read a dataset written by :func:`save_dataset`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    nodes = payload["nodes"]
+    trial_values = [node.get("trials") for node in nodes]
+    trials = (
+        np.array(trial_values)
+        if all(value is not None for value in trial_values)
+        else None
+    )
+    return CriticalityDataset(
+        design=payload["design"],
+        node_names=[node["name"] for node in nodes],
+        scores=np.array([node["score"] for node in nodes]),
+        labels=np.array([node["label"] for node in nodes]),
+        threshold=float(payload["threshold"]),
+        n_workloads=int(payload["n_workloads"]),
+        trials=trials,
+    )
+
+
+# ----------------------------------------------------------------------
+# trained GCN weights
+# ----------------------------------------------------------------------
+def save_gcn(model, path: PathLike) -> None:
+    """Write a fitted GCN classifier/regressor's weights and
+    architecture to an ``.npz`` archive."""
+    if model.model is None:
+        raise ReproError("cannot save an unfitted model")
+    metadata = {
+        "kind": "regressor" if isinstance(model, GCNRegressor)
+        else "classifier",
+        "hidden_dims": list(model.hidden_dims),
+        "dropout": model.dropout,
+        "adjacency_mode": model.adjacency_mode,
+        "self_loops": model.self_loops,
+        "conv": getattr(model, "conv", "gcn"),
+    }
+    arrays = {
+        f"parameter_{index}": parameter.value
+        for index, parameter in enumerate(model.model.parameters())
+    }
+    np.savez_compressed(
+        path,
+        metadata=np.frombuffer(
+            json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+        ),
+        **arrays,
+    )
+
+
+def load_gcn(path: PathLike, data: GraphData):
+    """Rebuild a fitted GCN against ``data``'s graph and features.
+
+    The model is reconstructed with the stored architecture, bound to
+    the design's propagation matrix, and its weights restored — ready
+    for :meth:`predict` without retraining.
+    """
+    from repro.models.gcn import build_gcn_stack
+
+    with np.load(path) as archive:
+        metadata = json.loads(bytes(archive["metadata"]).decode("utf-8"))
+        weights = [
+            archive[f"parameter_{index}"]
+            for index in range(
+                sum(1 for key in archive.files
+                    if key.startswith("parameter_"))
+            )
+        ]
+
+    conv = metadata.get("conv", "gcn")
+    if metadata["kind"] == "regressor":
+        model = GCNRegressor(
+            hidden_dims=tuple(metadata["hidden_dims"]),
+            dropout=float(metadata["dropout"]),
+            adjacency_mode=metadata["adjacency_mode"],
+            self_loops=bool(metadata["self_loops"]),
+        )
+    else:
+        model = GCNClassifier(
+            hidden_dims=tuple(metadata["hidden_dims"]),
+            dropout=float(metadata["dropout"]),
+            adjacency_mode=metadata["adjacency_mode"],
+            self_loops=bool(metadata["self_loops"]),
+            conv=conv,
+        )
+    a_norm = data.a_norm(model.adjacency_mode, model.self_loops)
+    model.model = build_gcn_stack(
+        data.n_features,
+        1 if metadata["kind"] == "regressor" else 2,
+        a_norm,
+        hidden_dims=model.hidden_dims,
+        dropout=model.dropout,
+        log_softmax=metadata["kind"] != "regressor",
+        conv=conv,
+    )
+    parameters = model.model.parameters()
+    if len(parameters) != len(weights):
+        raise ReproError(
+            "stored weights do not match the reconstructed architecture"
+        )
+    for parameter, value in zip(parameters, weights):
+        if parameter.value.shape != value.shape:
+            raise ReproError(
+                f"weight shape mismatch: {parameter.value.shape} vs "
+                f"{value.shape} (was the model trained on different "
+                "features?)"
+            )
+        parameter.value[:] = value
+    model._data = data  # noqa: SLF001 — bind for parameterless predict
+    model.model.eval()
+    return model
+
+
+# ----------------------------------------------------------------------
+# splits
+# ----------------------------------------------------------------------
+def save_split(split: Split, path: PathLike) -> None:
+    """Write a train/validation split to ``.npz``."""
+    np.savez_compressed(path, train_mask=split.train_mask,
+                        val_mask=split.val_mask)
+
+
+def load_split(path: PathLike) -> Split:
+    """Read a split written by :func:`save_split`."""
+    with np.load(path) as archive:
+        return Split(train_mask=archive["train_mask"],
+                     val_mask=archive["val_mask"])

@@ -1,0 +1,92 @@
+"""Classification metrics (§4.1 "Performance Metrics")."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.utils.errors import ModelError
+
+
+def _check(y_true: np.ndarray, y_pred: np.ndarray):
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape or y_true.ndim != 1:
+        raise ModelError("labels/predictions must be aligned 1-D arrays")
+    return y_true, y_pred
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    y_true, y_pred = _check(y_true, y_pred)
+    if len(y_true) == 0:
+        raise ModelError("empty evaluation set")
+    return float((y_true == y_pred).mean())
+
+
+@dataclass
+class ConfusionMatrix:
+    """Binary confusion counts (class 1 = Critical = positive)."""
+
+    true_positive: int
+    false_positive: int
+    true_negative: int
+    false_negative: int
+
+    @classmethod
+    def from_predictions(cls, y_true: np.ndarray,
+                         y_pred: np.ndarray) -> "ConfusionMatrix":
+        y_true, y_pred = _check(y_true, y_pred)
+        return cls(
+            true_positive=int(((y_true == 1) & (y_pred == 1)).sum()),
+            false_positive=int(((y_true == 0) & (y_pred == 1)).sum()),
+            true_negative=int(((y_true == 0) & (y_pred == 0)).sum()),
+            false_negative=int(((y_true == 1) & (y_pred == 0)).sum()),
+        )
+
+    @property
+    def tpr(self) -> float:
+        """True-positive rate (recall of the Critical class)."""
+        denominator = self.true_positive + self.false_negative
+        return self.true_positive / denominator if denominator else 0.0
+
+    @property
+    def fpr(self) -> float:
+        """False-positive rate."""
+        denominator = self.false_positive + self.true_negative
+        return self.false_positive / denominator if denominator else 0.0
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positive + self.false_positive
+        return self.true_positive / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        return self.tpr
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "TP": self.true_positive,
+            "FP": self.false_positive,
+            "TN": self.true_negative,
+            "FN": self.false_negative,
+            "TPR": round(self.tpr, 4),
+            "FPR": round(self.fpr, 4),
+            "precision": round(self.precision, 4),
+            "recall": round(self.recall, 4),
+            "F1": round(self.f1, 4),
+        }
+
+
+def balanced_accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean of per-class recalls."""
+    matrix = ConfusionMatrix.from_predictions(y_true, y_pred)
+    return 0.5 * (matrix.tpr + (1.0 - matrix.fpr))

@@ -1,0 +1,79 @@
+"""Regression and agreement metrics for criticality-score prediction."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ModelError
+
+
+def _check(a: np.ndarray, b: np.ndarray):
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 1 or len(a) == 0:
+        raise ModelError("inputs must be aligned non-empty 1-D arrays")
+    return a, b
+
+
+def mse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean squared error."""
+    y_true, y_pred = _check(y_true, y_pred)
+    return float(((y_true - y_pred) ** 2).mean())
+
+
+def mae(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute error."""
+    y_true, y_pred = _check(y_true, y_pred)
+    return float(np.abs(y_true - y_pred).mean())
+
+
+def r2(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination."""
+    y_true, y_pred = _check(y_true, y_pred)
+    residual = ((y_true - y_pred) ** 2).sum()
+    total = ((y_true - y_true.mean()) ** 2).sum()
+    if total == 0.0:
+        return 0.0
+    return float(1.0 - residual / total)
+
+
+def pearson(a: np.ndarray, b: np.ndarray) -> float:
+    """Pearson correlation (0 when either input is constant)."""
+    a, b = _check(a, b)
+    std_a, std_b = a.std(), b.std()
+    if std_a == 0.0 or std_b == 0.0:
+        return 0.0
+    return float(((a - a.mean()) * (b - b.mean())).mean() / (std_a * std_b))
+
+
+def spearman(a: np.ndarray, b: np.ndarray) -> float:
+    """Spearman rank correlation (average ranks for ties)."""
+    a, b = _check(a, b)
+    return pearson(_rankdata(a), _rankdata(b))
+
+
+def _rankdata(values: np.ndarray) -> np.ndarray:
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(len(values), dtype=np.float64)
+    ranks[order] = np.arange(1, len(values) + 1)
+    # Average ranks over ties.
+    sorted_values = values[order]
+    start = 0
+    for position in range(1, len(values) + 1):
+        if (position == len(values)
+                or sorted_values[position] != sorted_values[start]):
+            mean_rank = 0.5 * (start + 1 + position)
+            ranks[order[start:position]] = mean_rank
+            start = position
+    return ranks
+
+
+def classification_conformity(scores: np.ndarray, labels: np.ndarray,
+                              threshold: float = 0.5) -> float:
+    """Agreement between thresholded regression scores and class labels
+    (the paper reports >85% conformity between the two heads)."""
+    scores, _ = _check(scores, np.zeros_like(scores))
+    labels = np.asarray(labels)
+    if labels.shape != scores.shape:
+        raise ModelError("labels misaligned with scores")
+    return float(((scores >= threshold).astype(int) == labels).mean())

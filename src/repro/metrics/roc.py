@@ -1,0 +1,86 @@
+"""ROC curves and AUC (Figure 4 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.errors import ModelError
+
+
+@dataclass
+class RocCurve:
+    """An ROC curve: FPR/TPR pairs sorted by threshold, plus AUC."""
+
+    fpr: np.ndarray
+    tpr: np.ndarray
+    thresholds: np.ndarray
+    auc: float
+
+    def at_fpr(self, target_fpr: float) -> float:
+        """Interpolated TPR at a given FPR (for operating-point picks)."""
+        return float(np.interp(target_fpr, self.fpr, self.tpr))
+
+
+def roc_curve(y_true: np.ndarray, scores: np.ndarray) -> RocCurve:
+    """Compute the ROC curve of positive-class scores.
+
+    Args:
+        y_true: Binary labels (1 = Critical = positive).
+        scores: Higher score = more likely positive.
+    """
+    y_true = np.asarray(y_true)
+    scores = np.asarray(scores, dtype=np.float64)
+    if y_true.shape != scores.shape or y_true.ndim != 1:
+        raise ModelError("labels/scores must be aligned 1-D arrays")
+    n_positive = int((y_true == 1).sum())
+    n_negative = int((y_true == 0).sum())
+    if n_positive == 0 or n_negative == 0:
+        raise ModelError("ROC needs both classes present")
+
+    order = np.argsort(-scores, kind="stable")
+    sorted_labels = y_true[order]
+    sorted_scores = scores[order]
+
+    cumulative_tp = np.cumsum(sorted_labels == 1)
+    cumulative_fp = np.cumsum(sorted_labels == 0)
+
+    # Collapse ties: keep the last point of each distinct score.
+    distinct = np.r_[sorted_scores[1:] != sorted_scores[:-1], True]
+    tpr = np.r_[0.0, cumulative_tp[distinct] / n_positive]
+    fpr = np.r_[0.0, cumulative_fp[distinct] / n_negative]
+    thresholds = np.r_[np.inf, sorted_scores[distinct]]
+
+    auc = float(np.trapezoid(tpr, fpr))
+    return RocCurve(fpr=fpr, tpr=tpr, thresholds=thresholds, auc=auc)
+
+
+def auc_score(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve."""
+    return roc_curve(y_true, scores).auc
+
+
+def average_curves(curves, grid_points: int = 101) -> RocCurve:
+    """Vertically average ROC curves from repeated evaluations.
+
+    TPR values are interpolated onto a common FPR grid and averaged;
+    the reported AUC is the mean of the individual AUCs (the standard
+    cross-validated ROC presentation).
+    """
+    curves = list(curves)
+    if not curves:
+        raise ModelError("no curves to average")
+    grid = np.linspace(0.0, 1.0, grid_points)
+    tpr = np.mean(
+        [np.interp(grid, curve.fpr, curve.tpr) for curve in curves],
+        axis=0,
+    )
+    tpr[0], tpr[-1] = 0.0, 1.0
+    return RocCurve(
+        fpr=grid,
+        tpr=tpr,
+        thresholds=np.full(grid_points, np.nan),
+        auc=float(np.mean([curve.auc for curve in curves])),
+    )

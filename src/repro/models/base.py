@@ -1,0 +1,80 @@
+"""Common interface for feature-vector classifiers (the baselines).
+
+The paper compares the GCN against MLP, logistic regression (LoR),
+random forest (RFC), SVM and EBM.  Those baselines see only each node's
+own feature vector — precisely the contrast the paper draws: they
+"focus solely on node attributes ... disregarding structural
+information".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+import numpy as np
+
+from repro.utils.errors import ModelError
+
+
+class BaseClassifier:
+    """Binary classifier over per-node feature vectors."""
+
+    name: str = "base"
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "BaseClassifier":
+        raise NotImplementedError
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """``(N, 2)`` class probabilities."""
+        raise NotImplementedError
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """``(N,)`` hard class labels."""
+        return self.predict_proba(x).argmax(axis=1)
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy on ``(x, y)``."""
+        return float((self.predict(x) == np.asarray(y)).mean())
+
+    @staticmethod
+    def _check_fitted(flag: bool) -> None:
+        if not flag:
+            raise ModelError("predict before fit")
+
+    @staticmethod
+    def _check_training_data(x: np.ndarray, y: np.ndarray) -> None:
+        x = np.asarray(x)
+        y = np.asarray(y)
+        if x.ndim != 2 or len(x) != len(y):
+            raise ModelError("x must be (N, F) aligned with y")
+        if len(np.unique(y)) < 2:
+            raise ModelError("training data has a single class")
+
+
+_REGISTRY: Dict[str, Type[BaseClassifier]] = {}
+
+
+def register_classifier(name: str):
+    """Class decorator adding a baseline to the registry used by the
+    Figure 3/4 comparison benchmarks."""
+
+    def wrap(cls: Type[BaseClassifier]) -> Type[BaseClassifier]:
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return wrap
+
+
+def make_classifier(name: str, **kwargs) -> BaseClassifier:
+    """Instantiate a registered baseline by short name."""
+    if name not in _REGISTRY:
+        raise ModelError(
+            f"unknown classifier {name!r}; known: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[name](**kwargs)
+
+
+def registered_classifiers() -> Dict[str, Type[BaseClassifier]]:
+    """The registry (name -> class)."""
+    return dict(_REGISTRY)

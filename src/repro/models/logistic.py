@@ -1,0 +1,60 @@
+"""Logistic-regression (LoR) baseline, trained by full-batch gradient
+descent with L2 regularization and inverse-frequency class weighting."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.models.base import BaseClassifier, register_classifier
+from repro.utils.errors import ModelError
+
+
+@register_classifier("LoR")
+class LogisticRegression(BaseClassifier):
+    """Binary logistic regression."""
+
+    def __init__(self, lr: float = 0.1, epochs: int = 500,
+                 l2: float = 1e-3, balanced: bool = True):
+        self.lr = lr
+        self.epochs = epochs
+        self.l2 = l2
+        self.balanced = balanced
+        self.weights: Optional[np.ndarray] = None
+        self.bias = 0.0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        self._check_training_data(x, y)
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+
+        sample_weights = np.ones(len(y))
+        if self.balanced:
+            counts = np.bincount(y.astype(np.int64), minlength=2).astype(float)
+            counts[counts == 0.0] = 1.0
+            class_weights = counts.sum() / (2.0 * counts)
+            sample_weights = class_weights[y.astype(np.int64)]
+        normalizer = sample_weights.sum()
+
+        self.weights = np.zeros(x.shape[1])
+        self.bias = 0.0
+        for _ in range(self.epochs):
+            logits = x @ self.weights + self.bias
+            probability = 1.0 / (1.0 + np.exp(-np.clip(logits, -60, 60)))
+            residual = (probability - y) * sample_weights / normalizer
+            grad_w = x.T @ residual + self.l2 * self.weights
+            grad_b = residual.sum()
+            self.weights -= self.lr * grad_w
+            self.bias -= self.lr * grad_b
+        return self
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            raise ModelError("predict before fit")
+        return np.asarray(x, dtype=np.float64) @ self.weights + self.bias
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        logits = self.decision_function(x)
+        positive = 1.0 / (1.0 + np.exp(-np.clip(logits, -60, 60)))
+        return np.column_stack([1.0 - positive, positive])

@@ -1,0 +1,176 @@
+"""Random-forest classifier (RFC) baseline: CART trees with Gini
+impurity, bootstrap sampling, and per-split random feature subsets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.models.base import BaseClassifier, register_classifier
+from repro.utils.errors import ModelError
+from repro.utils.rng import SeedLike, derive_rng
+
+
+@dataclass
+class _Node:
+    """One decision-tree node (leaf when ``feature`` is None)."""
+
+    probability: float  # P(class 1) from training rows at this node
+    feature: Optional[int] = None
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+
+class DecisionTree:
+    """A single CART tree (Gini split criterion)."""
+
+    def __init__(self, max_depth: int = 8, min_leaf: int = 2,
+                 max_features: Optional[int] = None,
+                 rng: Optional[np.random.Generator] = None):
+        self.max_depth = max_depth
+        self.min_leaf = min_leaf
+        self.max_features = max_features
+        self.rng = rng or np.random.default_rng()
+        self.root: Optional[_Node] = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray,
+            sample_weights: Optional[np.ndarray] = None) -> "DecisionTree":
+        weights = (
+            np.ones(len(y)) if sample_weights is None
+            else np.asarray(sample_weights, dtype=np.float64)
+        )
+        self.root = self._grow(np.asarray(x, dtype=np.float64),
+                               np.asarray(y, dtype=np.float64),
+                               weights, depth=0)
+        return self
+
+    def _grow(self, x: np.ndarray, y: np.ndarray,
+              weights: np.ndarray, depth: int) -> _Node:
+        total = weights.sum()
+        probability = float((weights * y).sum() / total)
+        node = _Node(probability=probability)
+        if (depth >= self.max_depth or len(y) < 2 * self.min_leaf
+                or probability in (0.0, 1.0)):
+            return node
+
+        best = self._best_split(x, y, weights)
+        if best is None:
+            return node
+        feature, threshold = best
+        mask = x[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(x[mask], y[mask], weights[mask], depth + 1)
+        node.right = self._grow(x[~mask], y[~mask], weights[~mask],
+                                depth + 1)
+        return node
+
+    def _best_split(self, x: np.ndarray, y: np.ndarray,
+                    weights: np.ndarray):
+        n_features = x.shape[1]
+        candidates = np.arange(n_features)
+        if self.max_features and self.max_features < n_features:
+            candidates = self.rng.choice(
+                n_features, self.max_features, replace=False
+            )
+
+        best_score, best = np.inf, None
+        total = weights.sum()
+        for feature in candidates:
+            order = np.argsort(x[:, feature], kind="stable")
+            values = x[order, feature]
+            labels = y[order]
+            row_weights = weights[order]
+
+            weight_left = np.cumsum(row_weights)
+            positive_left = np.cumsum(row_weights * labels)
+            weight_right = total - weight_left
+            positive_right = positive_left[-1] - positive_left
+
+            # Valid split points: value changes, both sides non-trivial.
+            changed = values[:-1] < values[1:]
+            counts_left = np.arange(1, len(values))
+            valid = changed & (counts_left >= self.min_leaf) & (
+                len(values) - counts_left >= self.min_leaf
+            )
+            if not valid.any():
+                continue
+
+            wl = weight_left[:-1][valid]
+            wr = weight_right[:-1][valid]
+            pl = positive_left[:-1][valid] / wl
+            pr = positive_right[:-1][valid] / np.maximum(wr, 1e-12)
+            gini = (wl * 2 * pl * (1 - pl) + wr * 2 * pr * (1 - pr)) / total
+
+            best_index = int(np.argmin(gini))
+            if gini[best_index] < best_score:
+                best_score = float(gini[best_index])
+                position = np.flatnonzero(valid)[best_index]
+                threshold = 0.5 * (values[position] + values[position + 1])
+                best = (int(feature), float(threshold))
+        return best
+
+    def predict_proba_one(self, row: np.ndarray) -> float:
+        node = self.root
+        if node is None:
+            raise ModelError("predict before fit")
+        while node.feature is not None:
+            node = node.left if row[node.feature] <= node.threshold else (
+                node.right
+            )
+        return node.probability
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return np.array([self.predict_proba_one(row) for row in x])
+
+
+@register_classifier("RFC")
+class RandomForestClassifier(BaseClassifier):
+    """Bootstrap ensemble of CART trees."""
+
+    def __init__(self, n_trees: int = 50, max_depth: int = 8,
+                 min_leaf: int = 2, seed: SeedLike = 0,
+                 balanced: bool = True):
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_leaf = min_leaf
+        self.seed = seed
+        self.balanced = balanced
+        self.trees: List[DecisionTree] = []
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        self._check_training_data(x, y)
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        rng = derive_rng(self.seed, "random-forest")
+
+        sample_weights = np.ones(len(y))
+        if self.balanced:
+            counts = np.bincount(y, minlength=2).astype(float)
+            counts[counts == 0.0] = 1.0
+            class_weights = counts.sum() / (2.0 * counts)
+            sample_weights = class_weights[y]
+
+        max_features = max(1, int(np.sqrt(x.shape[1])))
+        self.trees = []
+        for _ in range(self.n_trees):
+            rows = rng.integers(0, len(y), size=len(y))
+            tree = DecisionTree(
+                max_depth=self.max_depth, min_leaf=self.min_leaf,
+                max_features=max_features, rng=rng,
+            )
+            tree.fit(x[rows], y[rows], sample_weights[rows])
+            self.trees.append(tree)
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        if not self.trees:
+            raise ModelError("predict before fit")
+        positive = np.mean(
+            [tree.predict_proba(x) for tree in self.trees], axis=0
+        )
+        return np.column_stack([1.0 - positive, positive])

@@ -1,0 +1,78 @@
+"""Simplified Graph Convolution (SGC) — extension model.
+
+The paper's GCN background cites Wu et al., "Simplifying graph
+convolutional networks" (ICML 2019): collapse the GCN's K propagation
+steps into a single fixed feature transform ``S = A*^K X`` followed by
+logistic regression.  SGC sits between the baselines (no structure) and
+the full GCN (learned nonlinear propagation), making it the natural
+probe for *how much of the GCN's advantage is plain neighborhood
+smoothing* — reported in the extension benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.data import GraphData
+from repro.graph.split import Split
+from repro.models.logistic import LogisticRegression
+from repro.utils.errors import ModelError
+
+
+class SGCClassifier:
+    """``softmax(A*^K X W)`` node classifier."""
+
+    name = "SGC"
+
+    def __init__(self, k: int = 3, adjacency_mode: str = "symmetric",
+                 self_loops: bool = True, lr: float = 0.1,
+                 epochs: int = 500, l2: float = 1e-3):
+        if k < 1:
+            raise ModelError("SGC needs at least one propagation step")
+        self.k = k
+        self.adjacency_mode = adjacency_mode
+        self.self_loops = self_loops
+        self._head = LogisticRegression(lr=lr, epochs=epochs, l2=l2)
+        self._data: Optional[GraphData] = None
+        self._smoothed: Optional[np.ndarray] = None
+
+    def _propagate(self, data: GraphData) -> np.ndarray:
+        a_norm = data.a_norm(self.adjacency_mode, self.self_loops)
+        smoothed = data.x
+        for _ in range(self.k):
+            smoothed = a_norm @ smoothed
+        return smoothed
+
+    def fit(self, data: GraphData, split: Split) -> "SGCClassifier":
+        """Precompute K-step propagation, fit the logistic head."""
+        self._data = data
+        self._smoothed = self._propagate(data)
+        self._head.fit(self._smoothed[split.train_mask],
+                       data.y_class[split.train_mask])
+        return self
+
+    def _require_fitted(self) -> np.ndarray:
+        if self._smoothed is None:
+            raise ModelError("predict before fit")
+        return self._smoothed
+
+    def predict_proba(self, data: Optional[GraphData] = None) -> np.ndarray:
+        smoothed = (
+            self._propagate(data) if data is not None
+            else self._require_fitted()
+        )
+        return self._head.predict_proba(smoothed)
+
+    def predict(self, data: Optional[GraphData] = None) -> np.ndarray:
+        return self.predict_proba(data).argmax(axis=1)
+
+    def accuracy(self, mask: np.ndarray,
+                 data: Optional[GraphData] = None) -> float:
+        """Accuracy over a node mask."""
+        reference = data if data is not None else self._data
+        predictions = self.predict(data)
+        return float(
+            (predictions[mask] == reference.y_class[mask]).mean()
+        )

@@ -1,0 +1,51 @@
+"""Gate-level netlist substrate: cells, data model, Verilog I/O."""
+
+from repro.netlist.cells import (
+    Cell,
+    LIBRARY,
+    combinational_cells,
+    get_cell,
+    sequential_cells,
+)
+from repro.netlist.netlist import Gate, Net, Netlist
+from repro.netlist.stats import NetlistStats, summarize
+from repro.netlist.equivalence import (
+    Counterexample,
+    EquivalenceResult,
+    check_equivalence,
+)
+from repro.netlist.optimize import OptimizeReport, optimize_netlist
+from repro.netlist.transform import harden_nodes, hardened_node_names
+from repro.netlist.validate import check, validate
+from repro.netlist.verilog import (
+    from_verilog,
+    read_verilog,
+    to_verilog,
+    write_verilog,
+)
+
+__all__ = [
+    "Cell",
+    "LIBRARY",
+    "combinational_cells",
+    "get_cell",
+    "sequential_cells",
+    "Gate",
+    "Net",
+    "Netlist",
+    "NetlistStats",
+    "summarize",
+    "Counterexample",
+    "EquivalenceResult",
+    "check_equivalence",
+    "OptimizeReport",
+    "optimize_netlist",
+    "harden_nodes",
+    "hardened_node_names",
+    "check",
+    "validate",
+    "from_verilog",
+    "read_verilog",
+    "to_verilog",
+    "write_verilog",
+]

@@ -1,0 +1,384 @@
+"""Gate-level netlist data model.
+
+A :class:`Netlist` is the central design representation: a set of named
+nets, a set of gate instances (each an instantiation of a library
+:class:`~repro.netlist.cells.Cell`), primary inputs and primary outputs.
+Netlists are built programmatically (see :mod:`repro.circuits.builder`)
+or parsed from structural Verilog (:mod:`repro.netlist.verilog`).
+
+Conventions:
+
+* Every net has exactly one driver: a primary input or a gate output.
+* A single implicit clock drives every flip-flop; clock and reset
+  distribution is abstracted away, exactly as in the paper's gate-level
+  fault model (faults are injected on logic nodes, not the clock tree).
+* The paper's graph nodes are *gates*; a gate's canonical node name is
+  ``{CELL}_{instance}``, matching Table 2 names such as ``ND2_U393``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.netlist.cells import Cell, FEEDBACK_PORTS, get_cell
+from repro.utils.errors import NetlistError
+
+
+@dataclass
+class Net:
+    """A single-bit wire.
+
+    Attributes:
+        index: Dense integer id, stable for array-based simulation.
+        name: Unique net name.
+        driver: Index of the driving gate, or ``None`` for primary inputs.
+        sinks: ``(gate_index, port_position)`` pairs reading this net.
+    """
+
+    index: int
+    name: str
+    driver: Optional[int] = None
+    sinks: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def is_primary_input(self) -> bool:
+        return self.driver is None
+
+
+@dataclass
+class Gate:
+    """One instantiated library cell.
+
+    Attributes:
+        index: Dense integer id.
+        instance: Instance name, e.g. ``"U393"``.
+        cell: The library cell.
+        inputs: Net indices in cell port order.
+        output: Net index driven by this gate.
+    """
+
+    index: int
+    instance: str
+    cell: Cell
+    inputs: Tuple[int, ...]
+    output: int
+
+    @property
+    def node_name(self) -> str:
+        """Canonical graph-node name, ``{CELL}_{instance}``."""
+        return f"{self.cell.name}_{self.instance}"
+
+    @property
+    def is_sequential(self) -> bool:
+        return self.cell.sequential
+
+
+class Netlist:
+    """A mutable gate-level design.
+
+    >>> design = Netlist("demo")
+    >>> a = design.add_input("a")
+    >>> b = design.add_input("b")
+    >>> y = design.add_gate("ND2", [a, b])
+    >>> design.add_output(y, "y")
+    >>> design.n_gates, design.n_nets
+    (1, 3)
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.nets: List[Net] = []
+        self.gates: List[Gate] = []
+        self._net_by_name: Dict[str, int] = {}
+        self._gate_by_instance: Dict[str, int] = {}
+        self.primary_inputs: List[int] = []
+        #: (net_index, port_name) pairs; one net may feed several outputs.
+        self.primary_outputs: List[Tuple[int, str]] = []
+        self._instance_counter = 0
+        self._levels_cache: Optional[List[int]] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _new_net(self, name: str) -> int:
+        if name in self._net_by_name:
+            raise NetlistError(f"duplicate net name {name!r}")
+        index = len(self.nets)
+        self.nets.append(Net(index=index, name=name))
+        self._net_by_name[name] = index
+        self._levels_cache = None
+        return index
+
+    def add_input(self, name: str) -> int:
+        """Declare a primary input and return its net index."""
+        return self._new_net(name)
+
+    def add_output(self, net: int, name: Optional[str] = None) -> None:
+        """Mark ``net`` as a primary output, optionally naming the port."""
+        self._check_net(net)
+        port = name if name is not None else self.nets[net].name
+        if any(existing == port for _, existing in self.primary_outputs):
+            raise NetlistError(f"duplicate output port {port!r}")
+        self.primary_outputs.append((net, port))
+
+    def _fresh_instance(self) -> str:
+        while True:
+            self._instance_counter += 1
+            candidate = f"U{self._instance_counter}"
+            if candidate not in self._gate_by_instance:
+                return candidate
+
+    def add_gate(
+        self,
+        cell_name: str,
+        inputs: Sequence[int],
+        instance: Optional[str] = None,
+        output_name: Optional[str] = None,
+    ) -> int:
+        """Instantiate ``cell_name`` and return the output net index.
+
+        ``inputs`` are net indices in cell port order.  For cells with a
+        feedback port (``DFFE``), omit the feedback input: it is wired to
+        the gate's own output automatically.
+        """
+        cell = get_cell(cell_name)
+        feedback_port = FEEDBACK_PORTS.get(cell_name)
+        expected = cell.n_inputs - (1 if feedback_port else 0)
+        if len(inputs) != expected:
+            raise NetlistError(
+                f"cell {cell_name} expects {expected} wired inputs, "
+                f"got {len(inputs)}"
+            )
+        for net in inputs:
+            self._check_net(net)
+
+        if instance is None:
+            instance = self._fresh_instance()
+        if instance in self._gate_by_instance:
+            raise NetlistError(f"duplicate instance name {instance!r}")
+
+        gate_index = len(self.gates)
+        output_net = self._new_net(
+            output_name if output_name is not None else f"n_{instance}"
+        )
+        self.nets[output_net].driver = gate_index
+
+        wired = list(inputs)
+        if feedback_port:
+            # Feedback port is declared last in the cell port list.
+            wired.append(output_net)
+
+        gate = Gate(
+            index=gate_index,
+            instance=instance,
+            cell=cell,
+            inputs=tuple(wired),
+            output=output_net,
+        )
+        self.gates.append(gate)
+        self._gate_by_instance[instance] = gate_index
+        for position, net in enumerate(gate.inputs):
+            self.nets[net].sinks.append((gate_index, position))
+        self._levels_cache = None
+        return output_net
+
+    def _check_net(self, net: int) -> None:
+        if not 0 <= net < len(self.nets):
+            raise NetlistError(f"net index {net} out of range")
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    @property
+    def n_nets(self) -> int:
+        return len(self.nets)
+
+    @property
+    def n_gates(self) -> int:
+        return len(self.gates)
+
+    @property
+    def n_inputs(self) -> int:
+        return sum(1 for net in self.nets if net.is_primary_input)
+
+    @property
+    def n_outputs(self) -> int:
+        return len(self.primary_outputs)
+
+    def net_index(self, name: str) -> int:
+        """Net index for ``name``; raises NetlistError when unknown."""
+        try:
+            return self._net_by_name[name]
+        except KeyError:
+            raise NetlistError(f"unknown net {name!r}") from None
+
+    def gate_by_instance(self, instance: str) -> Gate:
+        """Gate for instance name; raises NetlistError when unknown."""
+        try:
+            return self.gates[self._gate_by_instance[instance]]
+        except KeyError:
+            raise NetlistError(f"unknown instance {instance!r}") from None
+
+    def gate_by_node_name(self, node_name: str) -> Gate:
+        """Gate for a canonical ``{CELL}_{instance}`` node name."""
+        cell_name, _, instance = node_name.partition("_")
+        gate = self.gate_by_instance(instance)
+        if gate.cell.name != cell_name:
+            raise NetlistError(
+                f"node {node_name!r} names cell {cell_name}, but instance "
+                f"{instance} is a {gate.cell.name}"
+            )
+        return gate
+
+    def input_nets(self) -> List[int]:
+        """Primary-input net indices in declaration order."""
+        return [net.index for net in self.nets if net.is_primary_input]
+
+    def input_names(self) -> List[str]:
+        """Primary-input net names in declaration order."""
+        return [net.name for net in self.nets if net.is_primary_input]
+
+    def output_names(self) -> List[str]:
+        """Primary-output port names in declaration order."""
+        return [name for _, name in self.primary_outputs]
+
+    def sequential_gates(self) -> List[Gate]:
+        """All flip-flop gates."""
+        return [gate for gate in self.gates if gate.is_sequential]
+
+    def combinational_gates(self) -> List[Gate]:
+        """All non-flip-flop gates."""
+        return [gate for gate in self.gates if not gate.is_sequential]
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self.gates)
+
+    def __repr__(self) -> str:
+        return (
+            f"Netlist({self.name!r}: {self.n_gates} gates, "
+            f"{self.n_nets} nets, {self.n_inputs} PIs, "
+            f"{self.n_outputs} POs)"
+        )
+
+    # ------------------------------------------------------------------
+    # structural analysis
+    # ------------------------------------------------------------------
+    def levelize(self) -> List[int]:
+        """Topological level per gate.
+
+        Flip-flops sit at level 0 (their outputs behave like primary
+        inputs within a cycle); a combinational gate with combinational
+        drivers sits one level above the deepest of them, and a gate
+        fed only by primary inputs or flops sits at level 0.  Raises
+        :class:`NetlistError` on a combinational loop.
+        """
+        if self._levels_cache is not None:
+            return list(self._levels_cache)
+
+        levels = [0] * self.n_gates
+        # Count unresolved combinational fanins per gate.
+        pending = [0] * self.n_gates
+        ready: List[int] = []
+        for gate in self.gates:
+            if gate.is_sequential:
+                ready.append(gate.index)
+                continue
+            unresolved = 0
+            for net in gate.inputs:
+                driver = self.nets[net].driver
+                if driver is not None and not self.gates[driver].is_sequential:
+                    unresolved += 1
+            pending[gate.index] = unresolved
+            if unresolved == 0:
+                ready.append(gate.index)
+
+        order: List[int] = []
+        cursor = 0
+        while cursor < len(ready):
+            gate_index = ready[cursor]
+            cursor += 1
+            order.append(gate_index)
+            gate = self.gates[gate_index]
+            if gate.is_sequential:
+                continue
+            for sink_gate, _ in self.nets[gate.output].sinks:
+                sink = self.gates[sink_gate]
+                if sink.is_sequential:
+                    continue
+                pending[sink_gate] -= 1
+                if pending[sink_gate] == 0:
+                    levels[sink_gate] = 1 + max(
+                        (
+                            levels[self.nets[net].driver]
+                            for net in sink.inputs
+                            if self.nets[net].driver is not None
+                            and not self.gates[
+                                self.nets[net].driver
+                            ].is_sequential
+                        ),
+                        default=0,
+                    )
+                    ready.append(sink_gate)
+
+        if len(order) != self.n_gates:
+            stuck = [
+                self.gates[i].node_name
+                for i in range(self.n_gates)
+                if i not in set(order)
+            ]
+            raise NetlistError(
+                f"combinational loop involving gates: {stuck[:8]}"
+            )
+        self._levels_cache = levels
+        return list(levels)
+
+    def topological_order(self) -> List[int]:
+        """Gate indices sorted so combinational drivers precede sinks."""
+        levels = self.levelize()
+        return sorted(range(self.n_gates), key=lambda i: (levels[i], i))
+
+    def depth(self) -> int:
+        """Maximum combinational level in the design."""
+        levels = self.levelize()
+        return max(levels) if levels else 0
+
+    def fanin_count(self, gate: Gate) -> int:
+        """Number of wired input connections of ``gate`` (feedback port
+        of DFFE excluded, matching what a designer would count)."""
+        feedback = FEEDBACK_PORTS.get(gate.cell.name)
+        n = len(gate.inputs)
+        return n - 1 if feedback else n
+
+    def fanout_count(self, gate: Gate) -> int:
+        """Number of sink connections on the gate's output net, plus one
+        per primary-output port it drives.  Self-feedback (DFFE) is not
+        counted."""
+        count = 0
+        for sink_gate, _ in self.nets[gate.output].sinks:
+            if sink_gate == gate.index:
+                continue
+            count += 1
+        count += sum(1 for net, _ in self.primary_outputs if net == gate.output)
+        return count
+
+    def fanout_gates(self, gate: Gate) -> List[int]:
+        """Indices of distinct gates reading ``gate``'s output."""
+        seen: List[int] = []
+        for sink_gate, _ in self.nets[gate.output].sinks:
+            if sink_gate != gate.index and sink_gate not in seen:
+                seen.append(sink_gate)
+        return seen
+
+    def fanin_gates(self, gate: Gate) -> List[int]:
+        """Indices of distinct gates driving ``gate``'s inputs."""
+        seen: List[int] = []
+        for net in gate.inputs:
+            driver = self.nets[net].driver
+            if driver is not None and driver != gate.index and driver not in seen:
+                seen.append(driver)
+        return seen
+
+    def node_names(self) -> List[str]:
+        """Canonical node names for all gates, in gate-index order."""
+        return [gate.node_name for gate in self.gates]

@@ -1,0 +1,191 @@
+"""Netlist optimization: constant folding and dead-code elimination.
+
+A light synthesis-cleanup pass, run before analysis if desired:
+
+* **Constant folding** — nets provably constant (driven by tie cells,
+  or by gates whose output is the same for every completion of their
+  non-constant inputs, e.g. ``AND(x, 0)``) are replaced by shared
+  ``TIE0``/``TIE1`` cells.
+* **Dead-code elimination** — gates whose outputs can no longer reach
+  a primary output (directly or through live flip-flops) are removed.
+
+The pass is behaviour-preserving at the primary outputs (checked with
+the equivalence checker in the tests) and conservative: flip-flops are
+never folded (their value varies across the reset sequence even when
+the steady state is constant).
+
+Note that optimization changes the fault universe — folded/removed
+gates no longer exist as fault sites.  That is the correct semantics
+for criticality analysis of the *optimized* implementation; analyze the
+original netlist if its redundant sites matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Dict, List, Optional, Set
+
+from repro.netlist.netlist import Netlist
+from repro.utils.errors import NetlistError
+
+
+@dataclass
+class OptimizeReport:
+    """What the pass did."""
+
+    design: str
+    gates_before: int
+    gates_after: int
+    folded_constants: List[str] = field(default_factory=list)
+    removed_dead: List[str] = field(default_factory=list)
+
+    @property
+    def gates_removed(self) -> int:
+        return self.gates_before - self.gates_after
+
+
+def _constant_output(gate, const: Dict[int, Optional[int]]
+                     ) -> Optional[int]:
+    """The gate's output value if it is the same for every completion
+    of its unknown inputs, else None."""
+    known = [const.get(net) for net in gate.inputs]
+    unknown = [i for i, value in enumerate(known) if value is None]
+    if len(unknown) > 6:
+        return None
+    outputs = set()
+    for assignment in product((0, 1), repeat=len(unknown)):
+        bits = list(known)
+        for position, input_index in enumerate(unknown):
+            bits[input_index] = assignment[position]
+        outputs.add(int(gate.cell.function(tuple(bits), 1)) & 1)
+        if len(outputs) > 1:
+            return None
+    return outputs.pop()
+
+
+def optimize_netlist(netlist: Netlist):
+    """Return ``(optimized_netlist, report)``.
+
+    The input netlist is not modified.  Kept gates retain their
+    instance names, so node identities survive the pass.
+    """
+    # ------------------------------------------------------------------
+    # 1. constant analysis (combinational only, topological order)
+    # ------------------------------------------------------------------
+    const: Dict[int, Optional[int]] = {}
+    order = netlist.topological_order()
+    for gate_index in order:
+        gate = netlist.gates[gate_index]
+        if gate.is_sequential:
+            const[gate.output] = None
+            continue
+        const[gate.output] = _constant_output(gate, const)
+
+    # ------------------------------------------------------------------
+    # 2. liveness: backwards from POs; const nets need no driver.
+    # ------------------------------------------------------------------
+    live_gates: Set[int] = set()
+    frontier: List[int] = []
+
+    def require(net_index: int) -> None:
+        if const.get(net_index) is not None:
+            return  # becomes a tie, its cone is dead
+        driver = netlist.nets[net_index].driver
+        if driver is not None and driver not in live_gates:
+            live_gates.add(driver)
+            frontier.append(driver)
+
+    for net_index, _ in netlist.primary_outputs:
+        require(net_index)
+    while frontier:
+        gate = netlist.gates[frontier.pop()]
+        for net_index in gate.inputs:
+            if net_index == gate.output:
+                continue  # self-feedback (DFFE)
+            require(net_index)
+
+    # ------------------------------------------------------------------
+    # 3. rebuild
+    # ------------------------------------------------------------------
+    optimized = Netlist(netlist.name)
+    net_map: Dict[int, int] = {}
+    tie_nets: Dict[int, int] = {}
+
+    def tie(value: int) -> int:
+        if value not in tie_nets:
+            tie_nets[value] = optimized.add_gate(
+                "TIE1" if value else "TIE0", [],
+                instance=f"opt_tie{value}",
+            )
+        return tie_nets[value]
+
+    for net in netlist.nets:
+        if net.is_primary_input:
+            net_map[net.index] = optimized.add_input(net.name)
+
+    # Flop outputs first (legal sequential feedback), then the
+    # combinational gates in topological order, then flop inputs.
+    from repro.netlist.verilog import _attach_flop
+
+    live_flops = [
+        netlist.gates[i] for i in sorted(live_gates)
+        if netlist.gates[i].is_sequential
+    ]
+    for gate in live_flops:
+        net_map[gate.output] = optimized._new_net(  # noqa: SLF001
+            netlist.nets[gate.output].name
+        )
+
+    def mapped(net_index: int) -> int:
+        value = const.get(net_index)
+        if value is not None:
+            return tie(value)
+        if net_index not in net_map:
+            raise NetlistError("optimizer ordering bug")  # pragma: no cover
+        return net_map[net_index]
+
+    report = OptimizeReport(
+        design=netlist.name,
+        gates_before=netlist.n_gates,
+        gates_after=0,
+    )
+    for gate_index in order:
+        gate = netlist.gates[gate_index]
+        if gate.is_sequential:
+            continue
+        if gate_index not in live_gates:
+            if const.get(gate.output) is not None and any(
+                True for _ in netlist.nets[gate.output].sinks
+            ):
+                report.folded_constants.append(gate.node_name)
+            elif gate.cell.n_inputs > 0:
+                report.removed_dead.append(gate.node_name)
+            continue
+        net_map[gate.output] = optimized.add_gate(
+            gate.cell.name,
+            [mapped(net) for net in gate.inputs],
+            instance=gate.instance,
+            output_name=netlist.nets[gate.output].name,
+        )
+
+    from repro.netlist.cells import FEEDBACK_PORTS
+
+    for gate in live_flops:
+        feedback = FEEDBACK_PORTS.get(gate.cell.name)
+        wired = gate.inputs[:-1] if feedback else gate.inputs
+        _attach_flop(
+            optimized, gate.cell.name, gate.instance,
+            [mapped(net) for net in wired],
+            net_map[gate.output],
+        )
+
+    for gate in netlist.sequential_gates():
+        if gate.index not in live_gates:
+            report.removed_dead.append(gate.node_name)
+
+    for net_index, port in netlist.primary_outputs:
+        optimized.add_output(mapped(net_index), port)
+
+    report.gates_after = optimized.n_gates
+    return optimized, report

@@ -1,0 +1,71 @@
+"""Netlist statistics used in experiment reports.
+
+The paper characterizes each evaluation design by its "design
+complexity"; :func:`summarize` produces the equivalent profile: gate
+and net counts, sequential depth, cell-type histogram, fanout
+distribution, and estimated area.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.netlist.netlist import Netlist
+
+
+@dataclass
+class NetlistStats:
+    """Aggregate structural profile of one design."""
+
+    name: str
+    n_gates: int
+    n_nets: int
+    n_inputs: int
+    n_outputs: int
+    n_flops: int
+    depth: int
+    area: float
+    cell_histogram: Dict[str, int] = field(default_factory=dict)
+    mean_fanout: float = 0.0
+    max_fanout: int = 0
+    mean_fanin: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view for table rendering."""
+        return {
+            "design": self.name,
+            "gates": self.n_gates,
+            "nets": self.n_nets,
+            "PIs": self.n_inputs,
+            "POs": self.n_outputs,
+            "flops": self.n_flops,
+            "depth": self.depth,
+            "area": round(self.area, 1),
+            "mean fanout": round(self.mean_fanout, 2),
+            "max fanout": self.max_fanout,
+        }
+
+
+def summarize(netlist: Netlist) -> NetlistStats:
+    """Compute a :class:`NetlistStats` profile for ``netlist``."""
+    histogram = Counter(gate.cell.name for gate in netlist.gates)
+    fanouts = [netlist.fanout_count(gate) for gate in netlist.gates]
+    fanins = [netlist.fanin_count(gate) for gate in netlist.gates]
+    return NetlistStats(
+        name=netlist.name,
+        n_gates=netlist.n_gates,
+        n_nets=netlist.n_nets,
+        n_inputs=netlist.n_inputs,
+        n_outputs=netlist.n_outputs,
+        n_flops=len(netlist.sequential_gates()),
+        depth=netlist.depth(),
+        area=float(sum(gate.cell.area for gate in netlist.gates)),
+        cell_histogram=dict(sorted(histogram.items())),
+        mean_fanout=float(np.mean(fanouts)) if fanouts else 0.0,
+        max_fanout=int(max(fanouts)) if fanouts else 0,
+        mean_fanin=float(np.mean(fanins)) if fanins else 0.0,
+    )

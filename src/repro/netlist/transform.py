@@ -1,0 +1,120 @@
+"""Netlist transformations: selective TMR hardening — extension.
+
+The paper's motivation for criticality scores is "prioritizing
+resources towards critical nodes".  This module provides the resource:
+:func:`harden_nodes` applies triple-modular redundancy to selected
+gates — two replicas plus a 2-of-3 majority voter absorb any single
+fault inside the triplet — so the closed-loop experiment (predict
+critical nodes, harden them, re-run the campaign, measure the failure-
+probability drop) is runnable end to end.
+
+Hardening is non-destructive: the input netlist is deep-copied (via its
+Verilog form) and the copy is transformed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.netlist.netlist import Netlist
+from repro.utils.errors import NetlistError
+
+
+def _copy_netlist(netlist: Netlist) -> Netlist:
+    from repro.netlist.verilog import from_verilog, to_verilog
+
+    return from_verilog(to_verilog(netlist))
+
+
+def _majority(netlist: Netlist, a: int, b: int, c: int,
+              prefix: str) -> int:
+    """2-of-3 majority voter: (a&b) | (a&c) | (b&c)."""
+    ab = netlist.add_gate("AN2", [a, b], instance=f"{prefix}_vab")
+    ac = netlist.add_gate("AN2", [a, c], instance=f"{prefix}_vac")
+    bc = netlist.add_gate("AN2", [b, c], instance=f"{prefix}_vbc")
+    return netlist.add_gate("OR3", [ab, ac, bc],
+                            instance=f"{prefix}_vote")
+
+
+def harden_nodes(netlist: Netlist,
+                 node_names: Sequence[str]) -> Netlist:
+    """Return a copy of ``netlist`` with the named gates triplicated
+    behind majority voters.
+
+    Each hardened gate gets two replicas driven by the same input nets;
+    every original sink (and primary output) of the gate's output net
+    is rewired to the voter.  A stuck-at fault on any single replica's
+    output is outvoted; the voter itself becomes new (small) logic with
+    its own fault population — selective hardening is a trade, not a
+    free lunch, and the campaign measures it honestly.
+    """
+    hardened = _copy_netlist(netlist)
+    hardened.name = netlist.name  # keep FuSa policy/workload bindings
+
+    for node_name in node_names:
+        gate = hardened.gate_by_node_name(node_name)
+        prefix = f"tmr_{gate.instance}"
+        feedback_free_inputs = list(gate.inputs)
+        from repro.netlist.cells import FEEDBACK_PORTS
+
+        if FEEDBACK_PORTS.get(gate.cell.name):
+            feedback_free_inputs = feedback_free_inputs[:-1]
+
+        replica_one = hardened.add_gate(
+            gate.cell.name, feedback_free_inputs,
+            instance=f"{prefix}_r1",
+        )
+        replica_two = hardened.add_gate(
+            gate.cell.name, feedback_free_inputs,
+            instance=f"{prefix}_r2",
+        )
+        voter = _majority(hardened, gate.output, replica_one,
+                          replica_two, prefix)
+
+        # Rewire every original consumer of the gate's output (the
+        # replicas and voter read it legitimately) onto the voter.
+        original_net = gate.output
+        voter_gate_index = hardened.nets[voter].driver
+        replica_gates = {
+            hardened.nets[replica_one].driver,
+            hardened.nets[replica_two].driver,
+        }
+        protected = set(replica_gates)
+        # The voter's first AND reads the original net.
+        for sink_gate, port in list(hardened.nets[original_net].sinks):
+            if sink_gate in protected:
+                continue
+            sink = hardened.gates[sink_gate]
+            if sink.instance.startswith(prefix):
+                continue  # voter internals
+            _rewire(hardened, sink_gate, port, voter)
+
+        for position, (net, port_name) in enumerate(
+            hardened.primary_outputs
+        ):
+            if net == original_net:
+                hardened.primary_outputs[position] = (voter, port_name)
+
+    hardened._levels_cache = None  # noqa: SLF001
+    return hardened
+
+
+def _rewire(netlist: Netlist, gate_index: int, port: int,
+            new_net: int) -> None:
+    gate = netlist.gates[gate_index]
+    old_net = gate.inputs[port]
+    netlist.nets[old_net].sinks.remove((gate_index, port))
+    inputs = list(gate.inputs)
+    inputs[port] = new_net
+    gate.inputs = tuple(inputs)
+    netlist.nets[new_net].sinks.append((gate_index, port))
+
+
+def hardened_node_names(original: Netlist,
+                        hardened: Netlist) -> List[str]:
+    """Node names added by hardening (replicas and voter gates)."""
+    original_names = set(original.node_names())
+    return [
+        name for name in hardened.node_names()
+        if name not in original_names
+    ]

@@ -1,0 +1,72 @@
+"""Netlist structural validation.
+
+``validate(netlist)`` raises :class:`~repro.utils.errors.NetlistError`
+describing every rule the design violates; ``check(netlist)`` returns
+the list of violations without raising, for use in reporting flows.
+
+Rules enforced:
+
+* every net is driven by exactly one source (PI or gate output);
+* every net is read by at least one sink or exported as a primary
+  output (no dangling logic);
+* primary outputs reference existing nets;
+* the combinational core is acyclic (feedback only through flip-flops);
+* every gate instantiates a known library cell with correct arity.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.netlist.netlist import Netlist
+from repro.utils.errors import NetlistError
+
+
+def check(netlist: Netlist) -> List[str]:
+    """Return a list of human-readable violations (empty when clean)."""
+    problems: List[str] = []
+
+    driven_by: dict = {}
+    for gate in netlist.gates:
+        if gate.output in driven_by:
+            problems.append(
+                f"net {netlist.nets[gate.output].name!r} driven by both "
+                f"{netlist.gates[driven_by[gate.output]].node_name} and "
+                f"{gate.node_name}"
+            )
+        driven_by[gate.output] = gate.index
+        if len(gate.inputs) != gate.cell.n_inputs:
+            problems.append(
+                f"gate {gate.node_name} wires {len(gate.inputs)} inputs "
+                f"to a {gate.cell.n_inputs}-input {gate.cell.name}"
+            )
+
+    exported = {net for net, _ in netlist.primary_outputs}
+    for net in netlist.nets:
+        if net.driver is None and net.index in driven_by:
+            problems.append(
+                f"net {net.name!r} is a primary input but also gate-driven"
+            )
+        if not net.sinks and net.index not in exported:
+            problems.append(f"net {net.name!r} is dangling (no sink, no PO)")
+
+    for net_index, port in netlist.primary_outputs:
+        if not 0 <= net_index < netlist.n_nets:
+            problems.append(f"primary output {port!r} references a bad net")
+
+    try:
+        netlist.levelize()
+    except NetlistError as error:
+        problems.append(str(error))
+
+    return problems
+
+
+def validate(netlist: Netlist) -> None:
+    """Raise :class:`NetlistError` listing all violations, if any."""
+    problems = check(netlist)
+    if problems:
+        raise NetlistError(
+            f"netlist {netlist.name!r} failed validation:\n  "
+            + "\n  ".join(problems)
+        )

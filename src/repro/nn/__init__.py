@@ -1,0 +1,54 @@
+"""From-scratch neural-network engine (numpy): modules with explicit
+backward passes, losses, optimizers, training loops, and grid search."""
+
+from repro.nn.gridsearch import GridPoint, GridSearchResult, grid_search
+from repro.nn.init import glorot_uniform
+from repro.nn.losses import bce_with_logits, mse_loss, nll_loss
+from repro.nn.modules import (
+    Dropout,
+    GCNConv,
+    Linear,
+    LogSoftmax,
+    Module,
+    Parameter,
+    ReLU,
+    SAGEConv,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.training import (
+    TrainingConfig,
+    TrainingHistory,
+    train_classifier,
+    train_regressor,
+)
+
+__all__ = [
+    "GridPoint",
+    "GridSearchResult",
+    "grid_search",
+    "glorot_uniform",
+    "bce_with_logits",
+    "mse_loss",
+    "nll_loss",
+    "Dropout",
+    "GCNConv",
+    "Linear",
+    "LogSoftmax",
+    "Module",
+    "Parameter",
+    "ReLU",
+    "SAGEConv",
+    "Sequential",
+    "Sigmoid",
+    "Tanh",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "TrainingConfig",
+    "TrainingHistory",
+    "train_classifier",
+    "train_regressor",
+]

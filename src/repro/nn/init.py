@@ -1,0 +1,12 @@
+"""Weight initialization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def glorot_uniform(shape, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialization for a 2-D weight."""
+    fan_in, fan_out = shape
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)

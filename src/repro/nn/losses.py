@@ -1,0 +1,114 @@
+"""Loss functions with masked (transductive) evaluation.
+
+Node classification is transductive: the full graph passes through the
+network every step, but the loss (and its gradient) only covers the
+training-fold nodes.  Every loss therefore takes a boolean node mask.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.errors import ModelError
+
+
+def _resolve_mask(n: int, mask: Optional[np.ndarray]) -> np.ndarray:
+    if mask is None:
+        return np.ones(n, dtype=bool)
+    mask = np.asarray(mask, dtype=bool)
+    if mask.shape != (n,):
+        raise ModelError(f"mask shape {mask.shape} != ({n},)")
+    if not mask.any():
+        raise ModelError("loss mask selects no nodes")
+    return mask
+
+
+def nll_loss(
+    log_probs: np.ndarray,
+    targets: np.ndarray,
+    mask: Optional[np.ndarray] = None,
+    class_weights: Optional[np.ndarray] = None,
+) -> Tuple[float, np.ndarray]:
+    """Negative log-likelihood over masked nodes.
+
+    Args:
+        log_probs: ``(N, C)`` log-probabilities (LogSoftmax output).
+        targets: ``(N,)`` integer class labels.
+        mask: Boolean node mask (all nodes when ``None``).
+        class_weights: Optional ``(C,)`` per-class weights (for class
+            imbalance).
+
+    Returns:
+        ``(loss, grad)`` with ``grad`` shaped like ``log_probs``.
+    """
+    n, n_classes = log_probs.shape
+    mask = _resolve_mask(n, mask)
+    targets = np.asarray(targets, dtype=np.int64)
+    if targets.shape != (n,):
+        raise ModelError("targets misaligned with predictions")
+
+    weights = np.ones(n)
+    if class_weights is not None:
+        class_weights = np.asarray(class_weights, dtype=np.float64)
+        if class_weights.shape != (n_classes,):
+            raise ModelError("class_weights shape mismatch")
+        weights = class_weights[targets]
+    weights = weights * mask
+    normalizer = weights.sum()
+
+    picked = log_probs[np.arange(n), targets]
+    loss = float(-(weights * picked).sum() / normalizer)
+
+    grad = np.zeros_like(log_probs)
+    grad[np.arange(n), targets] = -weights / normalizer
+    return loss, grad
+
+
+def mse_loss(
+    predictions: np.ndarray,
+    targets: np.ndarray,
+    mask: Optional[np.ndarray] = None,
+) -> Tuple[float, np.ndarray]:
+    """Mean squared error over masked nodes.
+
+    ``predictions`` may be ``(N,)`` or ``(N, 1)``; the gradient matches
+    the prediction shape.
+    """
+    squeezed = predictions.reshape(len(predictions))
+    targets = np.asarray(targets, dtype=np.float64)
+    if targets.shape != squeezed.shape:
+        raise ModelError("targets misaligned with predictions")
+    mask = _resolve_mask(len(squeezed), mask)
+    count = int(mask.sum())
+
+    residual = (squeezed - targets) * mask
+    loss = float((residual ** 2).sum() / count)
+    grad = (2.0 * residual / count).reshape(predictions.shape)
+    return loss, grad
+
+
+def bce_with_logits(
+    logits: np.ndarray,
+    targets: np.ndarray,
+    mask: Optional[np.ndarray] = None,
+) -> Tuple[float, np.ndarray]:
+    """Binary cross-entropy on raw logits (numerically stable)."""
+    squeezed = logits.reshape(len(logits))
+    targets = np.asarray(targets, dtype=np.float64)
+    if targets.shape != squeezed.shape:
+        raise ModelError("targets misaligned with predictions")
+    mask = _resolve_mask(len(squeezed), mask)
+    count = int(mask.sum())
+
+    # log(1 + exp(-|z|)) formulation
+    absolute = np.abs(squeezed)
+    losses = np.maximum(squeezed, 0.0) - squeezed * targets + np.log1p(
+        np.exp(-absolute)
+    )
+    loss = float((losses * mask).sum() / count)
+
+    probability = 1.0 / (1.0 + np.exp(-np.clip(squeezed, -60.0, 60.0)))
+    grad = ((probability - targets) * mask / count).reshape(logits.shape)
+    return loss, grad

@@ -1,0 +1,6 @@
+"""Terminal rendering for benchmark reports: tables, bar charts, ROC."""
+
+from repro.reporting.figures import bar_chart, grouped_bar_chart, roc_ascii
+from repro.reporting.tables import render_table
+
+__all__ = ["bar_chart", "grouped_bar_chart", "roc_ascii", "render_table"]

@@ -1,0 +1,92 @@
+"""ASCII chart rendering: bar charts (Figure 3/5 style) and ROC curves
+(Figure 4 style) for terminal benchmark output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    title: Optional[str] = None,
+    width: int = 50,
+    unit: str = "",
+    maximum: Optional[float] = None,
+) -> str:
+    """Horizontal ASCII bar chart of labeled values."""
+    if not values:
+        return (title + "\n" if title else "") + "(no data)"
+    peak = maximum if maximum is not None else max(values.values())
+    peak = peak if peak > 0 else 1.0
+    label_width = max(len(label) for label in values)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in values.items():
+        filled = int(round(width * value / peak))
+        lines.append(
+            f"  {label:<{label_width}} |{'#' * filled:<{width}}| "
+            f"{value:.4g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Mapping[str, Mapping[str, float]],
+    title: Optional[str] = None,
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Bar chart with one section per group (Figure 3 layout:
+    designs x classifiers)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    peak = max(
+        (value for group in groups.values() for value in group.values()),
+        default=1.0,
+    )
+    for group_name, values in groups.items():
+        lines.append(f"{group_name}:")
+        lines.append(bar_chart(values, width=width, unit=unit,
+                               maximum=peak))
+    return "\n".join(lines)
+
+
+def roc_ascii(
+    curves: Mapping[str, "object"],
+    title: Optional[str] = None,
+    width: int = 61,
+    height: int = 21,
+) -> str:
+    """Plot ROC curves (objects with ``fpr``/``tpr``/``auc``) on one
+    ASCII canvas, one marker character per classifier."""
+    markers = "o*x+#@%&"
+    canvas = [[" "] * width for _ in range(height)]
+    # Diagonal reference.
+    for position in range(min(width, height * 3)):
+        row = height - 1 - int(position * (height - 1) / (width - 1))
+        if 0 <= row < height:
+            canvas[row][position] = "."
+
+    legend: List[str] = []
+    for index, (name, curve) in enumerate(curves.items()):
+        marker = markers[index % len(markers)]
+        fpr_dense = np.linspace(0.0, 1.0, width)
+        tpr_dense = np.interp(fpr_dense, curve.fpr, curve.tpr)
+        for column, tpr in enumerate(tpr_dense):
+            row = height - 1 - int(round(tpr * (height - 1)))
+            canvas[row][column] = marker
+        legend.append(f"  {marker} {name} (AUC={curve.auc:.2f})")
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("TPR")
+    for row in canvas:
+        lines.append(" |" + "".join(row))
+    lines.append(" +" + "-" * width + "> FPR")
+    lines.extend(legend)
+    return "\n".join(lines)

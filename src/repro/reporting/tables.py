@@ -1,0 +1,44 @@
+"""ASCII table rendering for benchmark reports."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    title: Optional[str] = None,
+    columns: Optional[List[str]] = None,
+) -> str:
+    """Render dict rows as a fixed-width ASCII table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    columns = columns or list(rows[0].keys())
+    widths = {
+        column: max(
+            len(str(column)),
+            *(len(str(row.get(column, ""))) for row in rows),
+        )
+        for column in columns
+    }
+    def line(char: str = "-") -> str:
+        return "+" + "+".join(char * (widths[c] + 2) for c in columns) + "+"
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line("-"))
+    out.append(
+        "|" + "|".join(f" {column:<{widths[column]}} " for column in columns)
+        + "|"
+    )
+    out.append(line("="))
+    for row in rows:
+        out.append(
+            "|" + "|".join(
+                f" {str(row.get(column, '')):<{widths[column]}} "
+                for column in columns
+            ) + "|"
+        )
+    out.append(line("-"))
+    return "\n".join(out)

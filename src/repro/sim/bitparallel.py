@@ -1,0 +1,458 @@
+"""64-way bit-parallel logic simulation engine.
+
+This is the performance core of the fault-injection substrate (the
+stand-in for the paper's Cadence Xcelium campaigns).  Net values are
+``numpy.uint64`` words: bit *b* of word *w* carries the value seen by
+*machine* ``64*w + b``.  Machine 0 is always the fault-free golden
+machine; every other machine runs the same stimulus with one stuck-at
+fault permanently forced on one gate output.  A whole fault universe
+therefore simulates in a single pass per workload, with every gate
+evaluation a handful of vectorized numpy operations.
+
+The schedule is levelized and type-grouped: gates of the same cell type
+on the same topological level evaluate together as one gather/compute/
+scatter step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.netlist.cells import Cell
+from repro.netlist.netlist import Netlist
+from repro.sim.waveform import Workload
+from repro.utils.errors import SimulationError
+
+ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+ZERO = np.uint64(0)
+
+
+@dataclass
+class GoldenStats:
+    """Per-net activity profile accumulated over golden simulations.
+
+    Drives the paper's probability features: ``P(net == 1)`` is
+    ``ones_count / cycles`` and the transition probability is
+    ``transition_count / (cycles - n_workloads)`` (the first cycle of
+    each workload has no predecessor).
+    """
+
+    net_names: List[str]
+    ones_count: np.ndarray        # int64 per net
+    transition_count: np.ndarray  # int64 per net
+    cycles: int
+    workloads: int
+
+    @property
+    def state_probability_one(self) -> np.ndarray:
+        """P(net == 1) per net."""
+        if self.cycles == 0:
+            return np.zeros(len(self.net_names))
+        return self.ones_count / self.cycles
+
+    @property
+    def state_probability_zero(self) -> np.ndarray:
+        """P(net == 0) per net."""
+        return 1.0 - self.state_probability_one
+
+    @property
+    def transition_probability(self) -> np.ndarray:
+        """P(net value changes between consecutive cycles), per net."""
+        denominator = self.cycles - self.workloads
+        if denominator <= 0:
+            return np.zeros(len(self.net_names))
+        return self.transition_count / denominator
+
+
+class BitParallelSimulator:
+    """Levelized, type-grouped, machine-parallel simulator."""
+
+    def __init__(self, netlist: Netlist):
+        self.netlist = netlist
+        self._build_schedule()
+
+    # ------------------------------------------------------------------
+    # schedule construction
+    # ------------------------------------------------------------------
+    def _build_schedule(self) -> None:
+        netlist = self.netlist
+        levels = netlist.levelize()
+
+        grouped: Dict[Tuple[int, str], List[int]] = {}
+        for gate in netlist.gates:
+            if gate.is_sequential:
+                continue
+            grouped.setdefault(
+                (levels[gate.index], gate.cell.name), []
+            ).append(gate.index)
+
+        self._comb_groups: List[Tuple[Cell, np.ndarray, np.ndarray]] = []
+        for (_, _), gate_indices in sorted(grouped.items()):
+            first = netlist.gates[gate_indices[0]]
+            out_idx = np.array(
+                [netlist.gates[i].output for i in gate_indices],
+                dtype=np.intp,
+            )
+            in_idx = np.array(
+                [netlist.gates[i].inputs for i in gate_indices],
+                dtype=np.intp,
+            ).reshape(len(gate_indices), first.cell.n_inputs)
+            self._comb_groups.append((first.cell, out_idx, in_idx))
+
+        flop_grouped: Dict[str, List[int]] = {}
+        for gate in netlist.sequential_gates():
+            flop_grouped.setdefault(gate.cell.name, []).append(gate.index)
+        self._flop_groups: List[Tuple[Cell, np.ndarray, np.ndarray]] = []
+        for _, gate_indices in sorted(flop_grouped.items()):
+            first = netlist.gates[gate_indices[0]]
+            out_idx = np.array(
+                [netlist.gates[i].output for i in gate_indices],
+                dtype=np.intp,
+            )
+            in_idx = np.array(
+                [netlist.gates[i].inputs for i in gate_indices],
+                dtype=np.intp,
+            )
+            self._flop_groups.append((first.cell, out_idx, in_idx))
+
+        self._pi_idx = np.array(netlist.input_nets(), dtype=np.intp)
+        self._pi_names = netlist.input_names()
+        self._po_idx = np.array(
+            [net for net, _ in netlist.primary_outputs], dtype=np.intp
+        )
+        self._flop_out_idx = np.array(
+            [gate.output for gate in netlist.sequential_gates()],
+            dtype=np.intp,
+        )
+
+    # ------------------------------------------------------------------
+    # inner loops
+    # ------------------------------------------------------------------
+    def _check_workload(self, workload: Workload) -> None:
+        if workload.input_names != self._pi_names:
+            raise SimulationError(
+                f"workload {workload.name!r} input order does not match "
+                f"netlist {self.netlist.name!r}"
+            )
+
+    def _settle(
+        self,
+        values: np.ndarray,
+        clear: Optional[np.ndarray],
+        force: Optional[np.ndarray],
+    ) -> None:
+        """Evaluate all combinational groups in level order."""
+        for cell, out_idx, in_idx in self._comb_groups:
+            if in_idx.shape[1] == 0:
+                constant = cell.function([], ONES)
+                out = np.full(
+                    (len(out_idx), values.shape[1]), constant,
+                    dtype=np.uint64,
+                )
+            else:
+                ins = values[in_idx]  # (g, k, W)
+                out = cell.function(
+                    [ins[:, position] for position in range(in_idx.shape[1])],
+                    ONES,
+                )
+            if clear is not None:
+                out = (out & ~clear[out_idx]) | force[out_idx]
+            values[out_idx] = out
+
+    def _commit(
+        self,
+        values: np.ndarray,
+        clear: Optional[np.ndarray],
+        force: Optional[np.ndarray],
+    ) -> None:
+        """Compute and commit all flip-flop next-states."""
+        staged: List[Tuple[np.ndarray, np.ndarray]] = []
+        for cell, out_idx, in_idx in self._flop_groups:
+            ins = values[in_idx]
+            out = cell.function(
+                [ins[:, position] for position in range(in_idx.shape[1])],
+                ONES,
+            )
+            staged.append((out_idx, out))
+        for out_idx, out in staged:
+            if clear is not None:
+                out = (out & ~clear[out_idx]) | force[out_idx]
+            values[out_idx] = out
+
+    def _apply_inputs(self, values: np.ndarray, row: np.ndarray) -> None:
+        bits = row.astype(bool)
+        # (n_pi, 1) broadcasts across all machine words on assignment.
+        values[self._pi_idx] = np.where(bits[:, None], ONES, ZERO)
+
+    # ------------------------------------------------------------------
+    # golden runs
+    # ------------------------------------------------------------------
+    def golden_stats(self, workloads: Sequence[Workload]) -> GoldenStats:
+        """Accumulate per-net state/transition counts over workloads."""
+        n_nets = self.netlist.n_nets
+        ones_count = np.zeros(n_nets, dtype=np.int64)
+        transition_count = np.zeros(n_nets, dtype=np.int64)
+        total_cycles = 0
+        for workload in workloads:
+            self._check_workload(workload)
+            values = np.zeros((n_nets, 1), dtype=np.uint64)
+            previous: Optional[np.ndarray] = None
+            for cycle in range(workload.cycles):
+                self._apply_inputs(values, workload.vectors[cycle])
+                self._settle(values, None, None)
+                self._commit(values, None, None)
+                bits = (values[:, 0] & np.uint64(1)).astype(np.int64)
+                ones_count += bits
+                if previous is not None:
+                    transition_count += bits ^ previous
+                previous = bits
+            total_cycles += workload.cycles
+        return GoldenStats(
+            net_names=[net.name for net in self.netlist.nets],
+            ones_count=ones_count,
+            transition_count=transition_count,
+            cycles=total_cycles,
+            workloads=len(workloads),
+        )
+
+    def golden_outputs(self, workload: Workload) -> np.ndarray:
+        """Golden primary-output trace, shape (cycles, n_outputs).
+
+        Used by cross-check tests against the scalar simulator.
+        """
+        self._check_workload(workload)
+        values = np.zeros((self.netlist.n_nets, 1), dtype=np.uint64)
+        outputs = np.zeros((workload.cycles, len(self._po_idx)),
+                           dtype=np.uint8)
+        for cycle in range(workload.cycles):
+            self._apply_inputs(values, workload.vectors[cycle])
+            self._settle(values, None, None)
+            outputs[cycle] = (
+                values[self._po_idx, 0] & np.uint64(1)
+            ).astype(np.uint8)
+            self._commit(values, None, None)
+        return outputs
+
+    # ------------------------------------------------------------------
+    # fault campaign
+    # ------------------------------------------------------------------
+    def run_fault_pass(
+        self,
+        workload: Workload,
+        fault_nets: np.ndarray,
+        fault_values: np.ndarray,
+        observation=None,
+    ):
+        """Simulate one workload against all faults simultaneously.
+
+        Args:
+            workload: Stimulus to replay.
+            fault_nets: Net index per fault (the faulted gate's output).
+            fault_values: Stuck-at value (0/1) per fault.
+            observation: Optional
+                :class:`repro.fi.observation.CompiledObservation`; when
+                given, each output participates in the golden-vs-faulty
+                comparison only on cycles where its strobe is active in
+                the golden run.
+
+        Returns:
+            ``(error_cycles, detection_cycle, latent)`` — per-fault
+            count of cycles with a functional output mismatch,
+            first-mismatch cycle (-1 when never), and end-of-run
+            state-corruption flags for faults that never reached an
+            output.
+        """
+        self._check_workload(workload)
+        n_faults = len(fault_nets)
+        n_machines = n_faults + 1
+        n_words = (n_machines + 63) // 64
+        n_nets = self.netlist.n_nets
+
+        clear = np.zeros((n_nets, n_words), dtype=np.uint64)
+        force = np.zeros((n_nets, n_words), dtype=np.uint64)
+        machine = np.arange(1, n_machines)
+        words, bits = machine >> 6, machine & 63
+        bit_masks = np.uint64(1) << bits.astype(np.uint64)
+        np.bitwise_or.at(clear, (fault_nets, words), bit_masks)
+        stuck_one = fault_values.astype(bool)
+        np.bitwise_or.at(
+            force,
+            (fault_nets[stuck_one], words[stuck_one]),
+            bit_masks[stuck_one],
+        )
+
+        # The stuck value holds from t=0: faulty nets (notably flop
+        # outputs, whose forcing is otherwise applied at commit time)
+        # start at their forced state rather than the reset state.
+        values = force.copy()
+        seen = np.zeros(n_words, dtype=np.uint64)
+        detection_cycle = np.full(n_faults, -1, dtype=np.int64)
+        error_cycles = np.zeros(n_machines, dtype=np.int64)
+
+        for cycle in range(workload.cycles):
+            self._apply_inputs(values, workload.vectors[cycle])
+            self._settle(values, clear, force)
+
+            po_values = values[self._po_idx]  # (p, W)
+            golden_bits = (po_values[:, 0] & np.uint64(1)).astype(bool)
+            golden_broadcast = np.where(golden_bits[:, None], ONES, ZERO)
+            difference = po_values ^ golden_broadcast
+            if observation is not None:
+                compare = observation.compare_mask(golden_bits)
+                difference = difference[compare]
+            mismatch = (
+                np.bitwise_or.reduce(difference, axis=0)
+                if len(difference) else np.zeros_like(seen)
+            )
+            if mismatch.any():
+                error_cycles += _machine_flags(mismatch, n_machines)
+                new = mismatch & ~seen
+                if new.any():
+                    seen |= mismatch
+                    for machine_index in _machines_from_mask(new):
+                        if machine_index > 0:
+                            detection_cycle[machine_index - 1] = cycle
+
+            self._commit(values, clear, force)
+
+        if bool(seen[0] & np.uint64(1)):
+            raise SimulationError(
+                "golden machine diverged from itself — engine bug"
+            )
+
+        observed = _machine_flags(seen, n_machines)[1:]
+
+        # Latent corruption: faulty state differs from golden at the end
+        # but no output ever mismatched.
+        if len(self._flop_out_idx):
+            state = values[self._flop_out_idx]
+            golden_state = (state[:, 0] & np.uint64(1)).astype(bool)
+            state_diff = np.bitwise_or.reduce(
+                state ^ np.where(golden_state[:, None], ONES, ZERO), axis=0
+            )
+            corrupted = _machine_flags(state_diff, n_machines)[1:]
+        else:
+            corrupted = np.zeros(n_faults, dtype=bool)
+        latent = corrupted & ~observed
+        return error_cycles[1:], detection_cycle, latent
+
+
+    # ------------------------------------------------------------------
+    # transient (SEU) campaign
+    # ------------------------------------------------------------------
+    def run_transient_pass(
+        self,
+        workload: Workload,
+        fault_nets: np.ndarray,
+        fault_cycles: np.ndarray,
+        observation=None,
+    ):
+        """Simulate single-event upsets: one state-bit flip per machine.
+
+        Machine *m* runs fault-free except that at the start of cycle
+        ``fault_cycles[m-1]`` the flip-flop output net
+        ``fault_nets[m-1]`` is inverted — the standard SEU model (soft
+        errors strike state elements; combinational glitches are
+        filtered unless captured).
+
+        Returns ``(error_cycles, detection_cycle, latent)`` with the
+        same semantics as :meth:`run_fault_pass`.
+        """
+        self._check_workload(workload)
+        n_faults = len(fault_nets)
+        n_machines = n_faults + 1
+        n_words = (n_machines + 63) // 64
+        n_nets = self.netlist.n_nets
+
+        flop_nets = set(int(net) for net in self._flop_out_idx)
+        for net in fault_nets:
+            if int(net) not in flop_nets:
+                raise SimulationError(
+                    "transient faults target flip-flop outputs only"
+                )
+
+        machine = np.arange(1, n_machines)
+        words, bits = machine >> 6, machine & 63
+        bit_masks = np.uint64(1) << bits.astype(np.uint64)
+
+        # Group flips by injection cycle for O(1) lookup per cycle.
+        flips_at: dict = {}
+        for fault_index in range(n_faults):
+            cycle = int(fault_cycles[fault_index])
+            if not 0 <= cycle < workload.cycles:
+                raise SimulationError(
+                    f"injection cycle {cycle} outside the workload"
+                )
+            flips_at.setdefault(cycle, []).append(fault_index)
+
+        values = np.zeros((n_nets, n_words), dtype=np.uint64)
+        seen = np.zeros(n_words, dtype=np.uint64)
+        detection_cycle = np.full(n_faults, -1, dtype=np.int64)
+        error_cycles = np.zeros(n_machines, dtype=np.int64)
+
+        for cycle in range(workload.cycles):
+            for fault_index in flips_at.get(cycle, ()):
+                net = int(fault_nets[fault_index])
+                word = int(words[fault_index])
+                values[net, word] ^= bit_masks[fault_index]
+
+            self._apply_inputs(values, workload.vectors[cycle])
+            self._settle(values, None, None)
+
+            po_values = values[self._po_idx]
+            golden_bits = (po_values[:, 0] & np.uint64(1)).astype(bool)
+            golden_broadcast = np.where(golden_bits[:, None], ONES, ZERO)
+            difference = po_values ^ golden_broadcast
+            if observation is not None:
+                compare = observation.compare_mask(golden_bits)
+                difference = difference[compare]
+            mismatch = (
+                np.bitwise_or.reduce(difference, axis=0)
+                if len(difference) else np.zeros_like(seen)
+            )
+            if mismatch.any():
+                error_cycles += _machine_flags(mismatch, n_machines)
+                new = mismatch & ~seen
+                if new.any():
+                    seen |= mismatch
+                    for machine_index in _machines_from_mask(new):
+                        if machine_index > 0:
+                            detection_cycle[machine_index - 1] = cycle
+
+            self._commit(values, None, None)
+
+        if bool(seen[0] & np.uint64(1)):
+            raise SimulationError(
+                "golden machine diverged from itself — engine bug"
+            )
+
+        observed = _machine_flags(seen, n_machines)[1:]
+        if len(self._flop_out_idx):
+            state = values[self._flop_out_idx]
+            golden_state = (state[:, 0] & np.uint64(1)).astype(bool)
+            state_diff = np.bitwise_or.reduce(
+                state ^ np.where(golden_state[:, None], ONES, ZERO),
+                axis=0,
+            )
+            corrupted = _machine_flags(state_diff, n_machines)[1:]
+        else:
+            corrupted = np.zeros(n_faults, dtype=bool)
+        latent = corrupted & ~observed
+        return error_cycles[1:], detection_cycle, latent
+
+
+def _machine_flags(mask_words: np.ndarray, n_machines: int) -> np.ndarray:
+    """Expand packed machine-mask words into a boolean vector."""
+    bytes_view = mask_words.view(np.uint8)
+    bits = np.unpackbits(bytes_view, bitorder="little")
+    return bits[:n_machines].astype(bool)
+
+
+def _machines_from_mask(mask_words: np.ndarray) -> np.ndarray:
+    """Machine indices whose bit is set in packed mask words."""
+    bytes_view = mask_words.view(np.uint8)
+    bits = np.unpackbits(bytes_view, bitorder="little")
+    return np.flatnonzero(bits)

@@ -1,0 +1,16 @@
+"""Shared utilities: seeded RNG helpers, timing, and error types."""
+
+from repro.utils.rng import SeedSequence, derive_rng, rng_from_seed
+from repro.utils.timing import Stopwatch
+from repro.utils.errors import ReproError, NetlistError, SimulationError, ModelError
+
+__all__ = [
+    "SeedSequence",
+    "derive_rng",
+    "rng_from_seed",
+    "Stopwatch",
+    "ReproError",
+    "NetlistError",
+    "SimulationError",
+    "ModelError",
+]

@@ -1,0 +1,24 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers embedding the framework can catch one base type.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class NetlistError(ReproError):
+    """Raised for malformed netlists: unknown cells, dangling nets,
+    multiple drivers, combinational loops, or bad port arity."""
+
+
+class SimulationError(ReproError):
+    """Raised for invalid simulation requests: stimulus/port mismatches,
+    unknown probe names, or empty workloads."""
+
+
+class ModelError(ReproError):
+    """Raised for model misuse: predicting before fitting, shape
+    mismatches between features and weights, or invalid hyperparameters."""

@@ -1,0 +1,34 @@
+"""Small wall-clock stopwatch used by the cost-comparison benchmarks."""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """Accumulating stopwatch.
+
+    >>> watch = Stopwatch()
+    >>> with watch:
+    ...     pass  # timed work
+    >>> watch.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._started_at: float | None = None
+
+    def __enter__(self) -> "Stopwatch":
+        self._started_at = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._started_at is not None
+        self.elapsed += time.perf_counter() - self._started_at
+        self._started_at = None
+
+    def reset(self) -> None:
+        """Zero the accumulated time."""
+        self.elapsed = 0.0
+        self._started_at = None

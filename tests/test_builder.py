@@ -1,0 +1,218 @@
+"""Tests for the word-level circuit builder, verified by simulation."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import CircuitBuilder
+from repro.netlist import validate
+from repro.sim import Simulator, Workload
+from repro.utils.errors import NetlistError
+
+
+def drive(builder, rows):
+    """Simulate the built netlist over per-cycle input dicts."""
+    sim = Simulator(builder.netlist)
+    return [sim.step(row) for row in rows]
+
+
+def word_rows(prefix, width, value):
+    return {f"{prefix}_{i}": (value >> i) & 1 for i in range(width)}
+
+
+def read_word(outputs, prefix, width):
+    return sum(outputs[f"{prefix}_{i}"] << i for i in range(width))
+
+
+def test_adder_matches_python():
+    builder = CircuitBuilder("add6")
+    a = builder.input_bus("a", 6)
+    b = builder.input_bus("b", 6)
+    total, carry = builder.add(a, b)
+    builder.output_bus(total, "s")
+    builder.output(carry, "c")
+    validate(builder.netlist)
+    sim = Simulator(builder.netlist)
+    rng = np.random.default_rng(0)
+    for _ in range(30):
+        x, y = int(rng.integers(64)), int(rng.integers(64))
+        row = {**word_rows("a", 6, x), **word_rows("b", 6, y)}
+        out = sim.step(row)
+        assert read_word(out, "s", 6) == (x + y) % 64
+        assert out["c"] == (x + y) // 64
+
+
+def test_increment():
+    builder = CircuitBuilder("inc4")
+    a = builder.input_bus("a", 4)
+    out, carry = builder.increment(a)
+    builder.output_bus(out, "s")
+    builder.output(carry, "c")
+    sim = Simulator(builder.netlist)
+    for value in range(16):
+        observed = sim.step(word_rows("a", 4, value))
+        assert read_word(observed, "s", 4) == (value + 1) % 16
+        assert observed["c"] == (value + 1) // 16
+
+
+def test_mux_and_bmux():
+    builder = CircuitBuilder("mux")
+    s = builder.input("s")
+    a = builder.input_bus("a", 3)
+    b = builder.input_bus("b", 3)
+    out = builder.bmux(s, a, b)
+    builder.output_bus(out, "y")
+    sim = Simulator(builder.netlist)
+    for select in (0, 1):
+        row = {"s": select, **word_rows("a", 3, 5), **word_rows("b", 3, 2)}
+        observed = sim.step(row)
+        assert read_word(observed, "y", 3) == (2 if select else 5)
+
+
+def test_bmux_many_one_hot():
+    builder = CircuitBuilder("omux")
+    selects = [builder.input(f"s{i}") for i in range(3)]
+    words = [builder.constant(value, 4) for value in (3, 9, 12)]
+    out = builder.bmux_many(selects, words)
+    builder.output_bus(out, "y")
+    sim = Simulator(builder.netlist)
+    for hot, expected in enumerate((3, 9, 12)):
+        row = {f"s{i}": int(i == hot) for i in range(3)}
+        observed = sim.step(row)
+        assert read_word(observed, "y", 4) == expected
+
+
+def test_equals_and_is_zero():
+    builder = CircuitBuilder("cmp")
+    a = builder.input_bus("a", 4)
+    b = builder.input_bus("b", 4)
+    builder.output(builder.equals(a, b), "eq")
+    builder.output(builder.equals_const(a, 9), "is9")
+    builder.output(builder.is_zero(a), "z")
+    sim = Simulator(builder.netlist)
+    for x in range(16):
+        for y in (0, 9, x):
+            observed = sim.step(
+                {**word_rows("a", 4, x), **word_rows("b", 4, y)}
+            )
+            assert observed["eq"] == int(x == y)
+            assert observed["is9"] == int(x == 9)
+            assert observed["z"] == int(x == 0)
+
+
+def test_decode():
+    builder = CircuitBuilder("dec")
+    a = builder.input_bus("a", 3)
+    outs = builder.decode(a, count=6)
+    for i, net in enumerate(outs):
+        builder.output(net, f"d{i}")
+    sim = Simulator(builder.netlist)
+    for value in range(8):
+        observed = sim.step(word_rows("a", 3, value))
+        for i in range(6):
+            assert observed[f"d{i}"] == int(value == i)
+
+
+def test_reduction_trees_use_wide_gates():
+    builder = CircuitBuilder("wide")
+    nets = [builder.input(f"i{i}") for i in range(9)]
+    builder.output(builder.and_(*nets), "all")
+    builder.output(builder.or_(*nets), "any")
+    cells = {gate.cell.name for gate in builder.netlist.gates}
+    assert "AN4" in cells or "AN3" in cells
+    sim = Simulator(builder.netlist)
+    observed = sim.step({f"i{i}": 1 for i in range(9)})
+    assert observed["all"] == 1 and observed["any"] == 1
+    observed = sim.step({f"i{i}": int(i == 4) for i in range(9)})
+    assert observed["all"] == 0 and observed["any"] == 1
+
+
+def test_complex_cells():
+    builder = CircuitBuilder("aoi")
+    a, b, c, d = (builder.input(n) for n in "abcd")
+    builder.output(builder.aoi22(a, b, c, d), "aoi22")
+    builder.output(builder.aoi21(a, b, c), "aoi21")
+    builder.output(builder.oai22(a, b, c, d), "oai22")
+    builder.output(builder.oai21(a, b, c), "oai21")
+    sim = Simulator(builder.netlist)
+    for bits in range(16):
+        av, bv, cv, dv = [(bits >> i) & 1 for i in range(4)]
+        observed = sim.step({"a": av, "b": bv, "c": cv, "d": dv})
+        assert observed["aoi22"] == 1 - ((av & bv) | (cv & dv))
+        assert observed["aoi21"] == 1 - ((av & bv) | cv)
+        assert observed["oai22"] == 1 - ((av | bv) & (cv | dv))
+        assert observed["oai21"] == 1 - ((av | bv) & cv)
+
+
+def test_register_plain_and_reset():
+    builder = CircuitBuilder("regs")
+    d = builder.input_bus("d", 2)
+    r = builder.input("r")
+    q = builder.register(d, reset=r)
+    builder.output_bus(q, "q")
+    sim = Simulator(builder.netlist)
+    sim.step({**word_rows("d", 2, 3), "r": 0})
+    observed = sim.step({**word_rows("d", 2, 0), "r": 0})
+    assert read_word(observed, "q", 2) == 3  # captured last cycle
+    observed = sim.step({**word_rows("d", 2, 3), "r": 1})
+    observed = sim.step({**word_rows("d", 2, 0), "r": 0})
+    assert read_word(observed, "q", 2) == 0  # reset won
+
+
+def test_register_enable_holds():
+    builder = CircuitBuilder("rege")
+    d = builder.input_bus("d", 2)
+    e = builder.input("e")
+    q = builder.register(d, enable=e)
+    builder.output_bus(q, "q")
+    sim = Simulator(builder.netlist)
+    sim.step({**word_rows("d", 2, 2), "e": 1})
+    observed = sim.step({**word_rows("d", 2, 1), "e": 0})
+    assert read_word(observed, "q", 2) == 2
+    observed = sim.step({**word_rows("d", 2, 1), "e": 0})
+    assert read_word(observed, "q", 2) == 2  # held
+    sim.step({**word_rows("d", 2, 1), "e": 1})
+    observed = sim.step({**word_rows("d", 2, 0), "e": 0})
+    assert read_word(observed, "q", 2) == 1
+
+
+def test_register_reset_beats_enable():
+    builder = CircuitBuilder("regre")
+    d = builder.input_bus("d", 1)
+    r = builder.input("r")
+    e = builder.input("e")
+    q = builder.register(d, reset=r, enable=e)
+    builder.output_bus(q, "q")
+    sim = Simulator(builder.netlist)
+    sim.step({"d_0": 1, "e": 1, "r": 0})
+    sim.step({"d_0": 1, "e": 0, "r": 1})  # reset with enable low
+    observed = sim.step({"d_0": 0, "e": 0, "r": 0})
+    assert observed["q_0"] == 0
+
+
+def test_constant_bus_and_shared_ties():
+    builder = CircuitBuilder("const")
+    word = builder.constant(0b1010, 4)
+    builder.output_bus(word, "k")
+    # TIE cells are shared.
+    tie_count = sum(
+        1 for gate in builder.netlist.gates
+        if gate.cell.name.startswith("TIE")
+    )
+    assert tie_count == 2
+    sim = Simulator(builder.netlist)
+    observed = sim.step({})
+    assert read_word(observed, "k", 4) == 0b1010
+
+
+def test_constant_out_of_range():
+    builder = CircuitBuilder("bad")
+    with pytest.raises(NetlistError):
+        builder.constant(16, 4)
+
+
+def test_bus_width_mismatch():
+    builder = CircuitBuilder("bad2")
+    a = builder.input_bus("a", 3)
+    b = builder.input_bus("b", 4)
+    with pytest.raises(NetlistError):
+        builder.band(a, b)

@@ -1,0 +1,137 @@
+"""Unit tests for the standard-cell library."""
+
+import numpy as np
+import pytest
+
+from repro.netlist.cells import (
+    FEEDBACK_PORTS,
+    LIBRARY,
+    combinational_cells,
+    get_cell,
+    sequential_cells,
+)
+from repro.utils.errors import NetlistError
+
+FULL = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def reference(cell_name, bits):
+    """Pure-Python reference semantics for every cell."""
+    if cell_name == "IV":
+        return 1 - bits[0]
+    if cell_name == "BUF":
+        return bits[0]
+    if cell_name.startswith("AN"):
+        return int(all(bits))
+    if cell_name.startswith("ND"):
+        return 1 - int(all(bits))
+    if cell_name.startswith("OR"):
+        return int(any(bits))
+    if cell_name.startswith("NR"):
+        return 1 - int(any(bits))
+    if cell_name == "XOR2":
+        return bits[0] ^ bits[1]
+    if cell_name == "XNR2":
+        return 1 - (bits[0] ^ bits[1])
+    if cell_name == "MUX2":
+        a, b, s = bits
+        return b if s else a
+    if cell_name == "AO2":
+        return 1 - ((bits[0] & bits[1]) | (bits[2] & bits[3]))
+    if cell_name == "AO3":
+        return 1 - ((bits[0] & bits[1]) | bits[2])
+    if cell_name == "OA2":
+        return 1 - ((bits[0] | bits[1]) & (bits[2] | bits[3]))
+    if cell_name == "OA3":
+        return 1 - ((bits[0] | bits[1]) & bits[2])
+    if cell_name == "TIE0":
+        return 0
+    if cell_name == "TIE1":
+        return 1
+    if cell_name == "DFF":
+        return bits[0]
+    if cell_name == "DFFR":
+        return bits[0] & (1 - bits[1])
+    if cell_name == "DFFE":
+        d, e, q = bits
+        return d if e else q
+    raise AssertionError(f"no reference for {cell_name}")
+
+
+@pytest.mark.parametrize("cell_name", sorted(LIBRARY))
+def test_truth_table_matches_reference(cell_name):
+    cell = LIBRARY[cell_name]
+    for bits, out in cell.truth_table():
+        assert out == reference(cell_name, bits), (cell_name, bits)
+
+
+@pytest.mark.parametrize("cell_name", sorted(LIBRARY))
+def test_packed_evaluation_matches_scalar(cell_name):
+    """Cell functions behave identically on uint64 words."""
+    cell = LIBRARY[cell_name]
+    rng = np.random.default_rng(7)
+    words = [rng.integers(0, 2**63, dtype=np.uint64)
+             for _ in range(cell.n_inputs)]
+    packed = cell.evaluate(words, FULL)
+    for bit in range(8):  # spot-check several bit lanes
+        bits = [int(word >> np.uint64(bit)) & 1 for word in words]
+        expected = int(cell.function(bits, 1)) & 1
+        assert (int(packed) >> bit) & 1 == expected
+
+
+def test_inverting_tags_match_semantics():
+    """The inverting flag agrees with the cell's all-zero/all-one rows."""
+    for cell in LIBRARY.values():
+        if cell.sequential or cell.n_inputs == 0:
+            continue
+        # An inverting cell maps the all-ones input to 0 for AND-ish
+        # gates, or all-zeros to 1 for OR-ish gates; either way its
+        # output differs from the non-inverting twin.  We assert the
+        # flags chosen for the canonical families.
+        if cell.name.startswith(("ND", "NR", "IV", "XNR", "AO", "OA")):
+            assert cell.inverting, cell.name
+        if cell.name.startswith(("AN", "OR2", "OR3", "OR4", "BUF",
+                                 "XOR", "MUX")):
+            assert not cell.inverting, cell.name
+
+
+def test_output_probability_known_cases():
+    an2 = get_cell("AN2")
+    assert an2.output_probability([0.5, 0.5]) == pytest.approx(0.25)
+    nd2 = get_cell("ND2")
+    assert nd2.output_probability([0.5, 0.5]) == pytest.approx(0.75)
+    xor2 = get_cell("XOR2")
+    assert xor2.output_probability([0.5, 0.5]) == pytest.approx(0.5)
+    iv = get_cell("IV")
+    assert iv.output_probability([0.3]) == pytest.approx(0.7)
+    mux = get_cell("MUX2")
+    # P(out) = P(s)*P(b) + (1-P(s))*P(a)
+    assert mux.output_probability([0.2, 0.8, 0.5]) == pytest.approx(0.5)
+
+
+def test_output_probability_bad_arity():
+    with pytest.raises(NetlistError):
+        get_cell("AN2").output_probability([0.5])
+
+
+def test_evaluate_bad_arity():
+    with pytest.raises(NetlistError):
+        get_cell("ND2").evaluate([1])
+
+
+def test_get_cell_unknown():
+    with pytest.raises(NetlistError):
+        get_cell("NAND99")
+
+
+def test_cell_partitions():
+    combinational = set(combinational_cells())
+    sequential = set(sequential_cells())
+    assert combinational.isdisjoint(sequential)
+    assert "DFF" in sequential and "ND2" in combinational
+    assert "TIE0" not in combinational  # zero-input ties excluded
+
+
+def test_feedback_ports_registered():
+    assert FEEDBACK_PORTS == {"DFFE": "QFB"}
+    assert LIBRARY["DFFE"].ports[-1] == "QFB"

@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_designs_command(capsys):
+    assert main(["designs"]) == 0
+    out = capsys.readouterr().out
+    assert "sdram_controller" in out
+    assert "or1200_icfsm" in out
+
+
+def test_verilog_command_stdout(capsys):
+    assert main(["verilog", "or1200_icfsm"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("// generated")
+    assert "module or1200_icfsm" in out
+
+
+def test_verilog_command_file(tmp_path, capsys):
+    target = tmp_path / "design.v"
+    assert main(["verilog", "sdram", "--out", str(target)]) == 0
+    from repro.netlist import read_verilog
+
+    parsed = read_verilog(target)
+    assert parsed.name == "sdram_controller"
+
+
+def test_campaign_command(capsys):
+    assert main([
+        "campaign", "or1200_icfsm",
+        "--workloads", "2", "--cycles", "60", "--collapse",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "fault-experiments" in out
+    assert "Algorithm 1" in out
+
+
+def test_campaign_command_saves(tmp_path, capsys):
+    target = tmp_path / "campaign.npz"
+    assert main([
+        "campaign", "or1200_icfsm",
+        "--workloads", "2", "--cycles", "60", "--out", str(target),
+    ]) == 0
+    from repro.io import load_campaign
+
+    loaded = load_campaign(target)
+    assert loaded.netlist_name == "or1200_icfsm"
+
+
+def test_analyze_command(capsys):
+    assert main([
+        "analyze", "or1200_icfsm", "--workloads", "6", "--cycles", "80",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "gcn_accuracy" in out
+    assert "GCN" in out and "EBM" in out
+    assert "pearson" in out
+
+
+def test_explain_command(capsys):
+    assert main([
+        "explain", "or1200_icfsm", "--workloads", "6", "--cycles", "80",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "criticality score" in out
+
+
+def test_unknown_design_rejected():
+    with pytest.raises(SystemExit):
+        main(["analyze", "not_a_design"])
+
+
+def test_reset_check_command(capsys):
+    assert main(["reset-check", "or1200_icfsm"]) == 0
+    out = capsys.readouterr().out
+    assert "unknown control flops: 0" in out
+
+
+def test_optimize_command(tmp_path, capsys):
+    target = tmp_path / "opt.v"
+    assert main(["optimize", "sdram", "--out", str(target)]) == 0
+    out = capsys.readouterr().out
+    assert "equivalence check: PASS" in out
+    assert target.exists()
+
+
+def test_harden_command(capsys):
+    assert main([
+        "harden", "or1200_icfsm", "--workloads", "6", "--cycles", "80",
+        "--budget", "6",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "mission failure probability" in out

@@ -1,0 +1,403 @@
+"""Behavioural tests of the three evaluation designs."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    build_or1200_icfsm,
+    build_or1200_if,
+    build_sdram_controller,
+    random_netlist,
+)
+from repro.circuits.or1200_if import NOP_INSTRUCTION, RESET_VECTOR
+from repro.circuits.sdram import (
+    BURST_LENGTH,
+    INIT_WAIT_CYCLES,
+    MODE_REGISTER_VALUE,
+)
+from repro.netlist import validate
+from repro.sim import (
+    Simulator,
+    design_workloads,
+    icfsm_workload,
+    or1200_if_workload,
+    sdram_workload,
+)
+
+
+def command(out):
+    """Decode (cs_n, ras_n, cas_n, we_n) into a command mnemonic."""
+    key = (out["cs_n"], out["ras_n"], out["cas_n"], out["we_n"])
+    return {
+        (1, 1, 1, 1): "DESELECT/NOP",
+        (0, 1, 1, 1): "NOP",
+        (0, 0, 1, 0): "PRECHARGE",
+        (0, 0, 0, 1): "REFRESH",
+        (0, 0, 0, 0): "MODE",
+        (0, 0, 1, 1): "ACTIVE",
+        (0, 1, 0, 1): "READ",
+        (0, 1, 0, 0): "WRITE",
+    }.get(key, f"UNKNOWN{key}")
+
+
+class TestSdramController:
+    def test_init_sequence(self, sdram):
+        """Power-up: precharge-all, two refreshes, mode load, then idle."""
+        sim = Simulator(sdram)
+        sim.step({"reset": 1})
+        sim.step({"reset": 1})
+        commands = []
+        ready_at = None
+        for cycle in range(60):
+            out = sim.step({"reset": 0})
+            name = command(out)
+            if name not in ("NOP", "DESELECT/NOP"):
+                commands.append(name)
+            if out["ready"] and ready_at is None:
+                ready_at = cycle
+        assert commands[:4] == ["PRECHARGE", "REFRESH", "REFRESH", "MODE"]
+        assert ready_at is not None and ready_at > INIT_WAIT_CYCLES
+
+    def test_mode_register_value(self, sdram):
+        sim = Simulator(sdram)
+        sim.step({"reset": 1})
+        for _ in range(60):
+            out = sim.step({"reset": 0})
+            if command(out) == "MODE":
+                value = sum(out[f"a_{i}"] << i for i in range(12))
+                assert value == MODE_REGISTER_VALUE
+                return
+        pytest.fail("MODE command never issued")
+
+    def test_read_transaction(self, sdram):
+        """A read request activates the row then bursts a READ."""
+        sim = Simulator(sdram)
+        sim.step({"reset": 1})
+        out = {}
+        for _ in range(40):  # run init to idle
+            out = sim.step({"reset": 0})
+            if out["ready"]:
+                break
+        assert out["ready"] == 1
+
+        address = 0x2B3A5  # bank | row | col
+        row = {"req": 1, "we": 0}
+        row.update({f"haddr_{i}": (address >> i) & 1 for i in range(22)})
+        saw = []
+        acked = False
+        for _ in range(25):
+            out = sim.step(row)
+            if out["ack"]:
+                acked = True
+                row = {"req": 0, "we": 0}
+            name = command(out)
+            if name == "ACTIVE":
+                active_row = sum(out[f"a_{i}"] << i for i in range(12))
+                assert active_row == (address >> 8) & 0xFFF
+                bank = out["ba_0"] | (out["ba_1"] << 1)
+                assert bank == (address >> 20) & 0x3
+            if name == "READ":
+                column = sum(out[f"a_{i}"] << i for i in range(8))
+                assert column == address & 0xFF
+            if name not in ("NOP", "DESELECT/NOP"):
+                saw.append(name)
+        assert acked
+        assert "ACTIVE" in saw and "READ" in saw and "PRECHARGE" in saw
+        assert saw.index("ACTIVE") < saw.index("READ") < saw.index(
+            "PRECHARGE"
+        )
+
+    def test_write_uses_write_command(self, sdram):
+        sim = Simulator(sdram)
+        sim.step({"reset": 1})
+        for _ in range(40):
+            out = sim.step({"reset": 0})
+            if out["ready"]:
+                break
+        row = {"req": 1, "we": 1}
+        saw = set()
+        for _ in range(25):
+            out = sim.step(row)
+            if out["ack"]:
+                row = {"req": 0, "we": 0}
+            saw.add(command(out))
+        assert "WRITE" in saw and "READ" not in saw
+
+    def test_periodic_refresh(self, sdram):
+        """With no requests, the controller still issues refreshes."""
+        sim = Simulator(sdram)
+        sim.step({"reset": 1})
+        refreshes = 0
+        for _ in range(200):
+            out = sim.step({"reset": 0})
+            if command(out) == "REFRESH":
+                refreshes += 1
+        assert refreshes >= 3  # 2 init + at least 1 periodic
+
+    def test_workload_generator_produces_acks(self, sdram):
+        workload = sdram_workload(sdram, cycles=200, seed=4,
+                                  request_rate=0.5)
+        trace = Simulator(sdram).run(workload)
+        assert trace.output("ack").sum() >= 3
+        assert trace.output("cke").min() == 0  # init phase seen
+
+
+class TestOr1200If:
+    def run_reset(self, sim):
+        sim.step({"reset": 1})
+        sim.step({"reset": 1})
+
+    def test_reset_vector_and_increment(self, or1200_if):
+        sim = Simulator(or1200_if)
+        self.run_reset(sim)
+        out = sim.step({"reset": 0, "icpu_ack": 1})
+        pc = sum(out[f"icpu_adr_{i}"] << i for i in range(32))
+        # With an ack, the next fetch address is reset vector + 4.
+        assert pc == RESET_VECTOR + 4
+        out = sim.step({"icpu_ack": 1})
+        pc = sum(out[f"icpu_adr_{i}"] << i for i in range(32))
+        assert pc == RESET_VECTOR + 8
+
+    def test_pc_holds_without_ack(self, or1200_if):
+        sim = Simulator(or1200_if)
+        self.run_reset(sim)
+        out = sim.step({"reset": 0, "icpu_ack": 0})
+        pc_first = sum(out[f"icpu_adr_{i}"] << i for i in range(32))
+        out = sim.step({"icpu_ack": 0})
+        pc_second = sum(out[f"icpu_adr_{i}"] << i for i in range(32))
+        assert pc_first == pc_second == RESET_VECTOR
+
+    def test_branch_redirect(self, or1200_if):
+        sim = Simulator(or1200_if)
+        self.run_reset(sim)
+        target = 0x0000_4440
+        row = {"reset": 0, "branch_taken": 1}
+        row.update({f"branch_addr_{i}": (target >> i) & 1
+                    for i in range(32)})
+        out = sim.step(row)
+        pc = sum(out[f"icpu_adr_{i}"] << i for i in range(32))
+        assert pc == target
+
+    def test_exception_beats_branch(self, or1200_if):
+        sim = Simulator(or1200_if)
+        self.run_reset(sim)
+        row = {"reset": 0, "branch_taken": 1, "except_start": 1}
+        row.update({f"branch_addr_{i}": 1 for i in range(32)})
+        row.update({f"except_type_{i}": (5 >> i) & 1 for i in range(3)})
+        out = sim.step(row)
+        pc = sum(out[f"icpu_adr_{i}"] << i for i in range(32))
+        assert pc == 5 << 8  # vector = cause << 8
+
+    def test_instruction_capture_and_validity(self, or1200_if):
+        sim = Simulator(or1200_if)
+        self.run_reset(sim)
+        word = (0x04 << 26) | 0x123456  # l.bf opcode
+        row = {"reset": 0, "icpu_ack": 1}
+        row.update({f"icpu_dat_{i}": (word >> i) & 1 for i in range(32)})
+        sim.step(row)
+        out = sim.step({"icpu_ack": 0,
+                        **{f"icpu_dat_{i}": 0 for i in range(32)}})
+        insn = sum(out[f"if_insn_{i}"] << i for i in range(32))
+        assert insn == word
+        assert out["if_valid"] == 1
+        assert out["if_branch_op"] == 1
+
+    def test_bus_error_substitutes_nop(self, or1200_if):
+        sim = Simulator(or1200_if)
+        self.run_reset(sim)
+        sim.step({"reset": 0, "icpu_err": 1})
+        out = sim.step({"icpu_err": 0})
+        insn = sum(out[f"if_insn_{i}"] << i for i in range(32))
+        assert insn == NOP_INSTRUCTION
+        assert out["if_valid"] == 0
+
+    def test_branch_saved_during_stall(self, or1200_if):
+        sim = Simulator(or1200_if)
+        self.run_reset(sim)
+        target = 0x0000_8880
+        row = {"reset": 0, "stall": 1, "branch_taken": 1}
+        row.update({f"branch_addr_{i}": (target >> i) & 1
+                    for i in range(32)})
+        sim.step(row)
+        # Branch input gone, stall released: saved target replays.
+        out = sim.step({"stall": 0, "branch_taken": 0,
+                        **{f"branch_addr_{i}": 0 for i in range(32)}})
+        pc = sum(out[f"icpu_adr_{i}"] << i for i in range(32))
+        assert pc == target
+
+    def test_workload_generator(self, or1200_if):
+        workload = or1200_if_workload(or1200_if, cycles=150, seed=2)
+        trace = Simulator(or1200_if).run(workload)
+        assert trace.output("if_valid").sum() > 20
+
+
+class TestIcfsm:
+    def addr_row(self, address):
+        return {f"addr_{i}": (address >> i) & 1 for i in range(14)}
+
+    def tag_rows(self, tag0, tag1, v0=1, v1=1):
+        row = {}
+        for bit in range(8):
+            row[f"tag0_in_{bit}"] = (tag0 >> bit) & 1
+            row[f"tag1_in_{bit}"] = (tag1 >> bit) & 1
+        row["tag0_v_in"] = v0
+        row["tag1_v_in"] = v1
+        return row
+
+    def request(self, address, hit_way=None):
+        """Input row for a fetch; hit_way None = miss on both ways."""
+        tag = (address >> 6) & 0xFF
+        other = (tag ^ 0x5A) & 0xFF
+        tags = {
+            None: (other, other),
+            0: (tag, other),
+            1: (other, tag),
+        }[hit_way]
+        return {"reset": 0, "ic_en": 1, "cycstb": 1,
+                **self.addr_row(address), **self.tag_rows(*tags)}
+
+    def test_hit_acks_immediately(self, icfsm):
+        sim = Simulator(icfsm)
+        sim.step({"reset": 1})
+        row = self.request(0x2A51, hit_way=0)
+        sim.step(row)  # IDLE -> CFETCH
+        out = sim.step(row)
+        assert out["hit"] == 1 and out["ack"] == 1
+        assert out["way_sel"] == 0  # hit way reported
+
+    def test_hit_on_way1(self, icfsm):
+        sim = Simulator(icfsm)
+        sim.step({"reset": 1})
+        row = self.request(0x2A51, hit_way=1)
+        sim.step(row)
+        out = sim.step(row)
+        assert out["hit"] == 1 and out["way_sel"] == 1
+
+    def test_invalid_way_does_not_hit(self, icfsm):
+        sim = Simulator(icfsm)
+        sim.step({"reset": 1})
+        row = self.request(0x2A51, hit_way=0)
+        row["tag0_v_in"] = 0  # matching way is invalid
+        sim.step(row)
+        out = sim.step(row)
+        assert out["hit"] == 0
+
+    def test_miss_starts_burst_refill(self, icfsm):
+        sim = Simulator(icfsm)
+        sim.step({"reset": 1})
+        row = self.request(0x2A51, hit_way=None)
+        sim.step(row)
+        out = sim.step(row)  # CFETCH sees miss
+        assert out["hit"] == 0
+        out = sim.step(row)  # LFETCH
+        assert out["burst"] == 1 and out["biu_req"] == 1
+        # Deliver 4 beats; data writes follow, tag written on the last
+        # beat into exactly one way (the reset-LRU victim: way 0).
+        data_writes = 0
+        tag_writes = []
+        for beat in range(4):
+            out = sim.step({**row, "biudata_valid": 1})
+            data_writes += out["data_we"]
+            tag_writes.append((out["tag_we0"], out["tag_we1"]))
+        assert data_writes == 4
+        assert tag_writes.count((0, 0)) == 3
+        assert (1, 0) in tag_writes
+        out = sim.step({**row, "biudata_valid": 0})
+        assert out["burst"] == 0  # back to CFETCH
+
+    def test_lru_steers_second_refill_to_other_way(self, icfsm):
+        sim = Simulator(icfsm)
+        sim.step({"reset": 1})
+
+        def refill(address):
+            row = self.request(address, hit_way=None)
+            sim.step(row)
+            sim.step(row)       # CFETCH (miss)
+            sim.step(row)       # LFETCH
+            ways = set()
+            for beat in range(4):
+                out = sim.step({**row, "biudata_valid": 1})
+                if out["tag_we0"]:
+                    ways.add(0)
+                if out["tag_we1"]:
+                    ways.add(1)
+            # Leave the request (drop strobe) so the FSM returns to IDLE.
+            sim.step({**row, "cycstb": 0, "biudata_valid": 0})
+            sim.step({**row, "cycstb": 0})
+            return ways
+
+        same_set = 0x2A50
+        first = refill(same_set)
+        second = refill(same_set | (0x81 << 6))  # same set, other tag
+        assert first == {0}
+        assert second == {1}  # LRU flipped to the other way
+
+    def test_refill_addresses_walk_the_line(self, icfsm):
+        sim = Simulator(icfsm)
+        sim.step({"reset": 1})
+        address = 0x2A52  # word offset 2
+        row = self.request(address, hit_way=None)
+        sim.step(row)
+        sim.step(row)
+        observed_words = []
+        acked_at_word = None
+        for beat in range(4):
+            out = sim.step({**row, "biudata_valid": 1})
+            word = out["biu_adr_0"] | (out["biu_adr_1"] << 1)
+            observed_words.append(word)
+            if out["ack"]:
+                acked_at_word = word
+        assert observed_words == [0, 1, 2, 3]
+        assert acked_at_word == 2  # critical word acknowledged
+
+    def test_cache_inhibit_bypasses(self, icfsm):
+        sim = Simulator(icfsm)
+        sim.step({"reset": 1})
+        row = {**self.request(0x123, hit_way=0), "ci": 1}
+        sim.step(row)   # -> CFETCH
+        sim.step(row)   # CFETCH: ci -> BFETCH
+        out = sim.step(row)
+        assert out["biu_req"] == 1 and out["burst"] == 0
+        out = sim.step({**row, "biudata_valid": 1})
+        assert out["ack"] == 1 and out["data_we"] == 0
+
+    def test_bus_error_locks(self, icfsm):
+        sim = Simulator(icfsm)
+        sim.step({"reset": 1})
+        row = self.request(0x123, hit_way=None)
+        sim.step(row)
+        sim.step(row)
+        sim.step(row)  # LFETCH
+        out = sim.step({**row, "biudata_err": 1})
+        out = sim.step(row)
+        assert out["err"] == 1
+        # Error clears when the CPU drops its strobe.
+        out = sim.step({**row, "cycstb": 0})
+        out = sim.step({**row, "cycstb": 0})
+        assert out["err"] == 0
+
+    def test_workload_generator(self, icfsm):
+        workload = icfsm_workload(icfsm, cycles=150, seed=1)
+        trace = Simulator(icfsm).run(workload)
+        assert trace.output("ack").sum() >= 5
+        assert trace.output("burst").sum() >= 4
+
+
+def test_design_workload_suites_are_diverse(all_designs):
+    for design in all_designs:
+        suite = design_workloads(design.name, design, count=8,
+                                 cycles=80, seed=0)
+        assert len(suite) == 8
+        assert len({workload.name for workload in suite}) == 8
+        stacked = np.stack([workload.vectors for workload in suite])
+        # Different workloads differ in content, not just name.
+        assert not np.array_equal(stacked[0], stacked[1])
+
+
+def test_generic_suite_for_unknown_design():
+    netlist = random_netlist(n_inputs=4, n_gates=20, n_flops=3,
+                             n_outputs=3, seed=2)
+    suite = design_workloads(netlist.name, netlist, count=3, cycles=50,
+                             seed=0)
+    assert len(suite) == 3
+    assert all(workload.cycles == 50 for workload in suite)

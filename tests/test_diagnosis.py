@@ -1,0 +1,91 @@
+"""Tests for fault-dictionary diagnosis."""
+
+import numpy as np
+import pytest
+
+from repro.fi import FaultDictionary, run_campaign
+from repro.fi.collapse import collapse_faults
+from repro.fi.faults import full_fault_universe
+from repro.sim import design_workloads
+from repro.utils.errors import SimulationError
+
+
+@pytest.fixture(scope="module")
+def dictionary(icfsm):
+    workloads = design_workloads(icfsm.name, icfsm, count=8,
+                                 cycles=120, seed=0)
+    campaign = run_campaign(icfsm, workloads)
+    return FaultDictionary(campaign)
+
+
+def test_self_diagnosis_resolves_to_equivalence_class(icfsm, dictionary):
+    """Feeding a fault's own signature back ranks that fault (or an
+    exact-signature equivalent) first, for a sample of detected
+    faults."""
+    campaign = dictionary.campaign
+    detected = np.flatnonzero(campaign.observed.any(axis=0))
+    rng = np.random.default_rng(3)
+    for fault_index in rng.choice(detected, 15, replace=False):
+        candidates = dictionary.diagnose_fault_index(int(fault_index),
+                                                     top=3)
+        best = candidates[0]
+        true_name = campaign.faults[fault_index].name
+        if best.fault_name != true_name:
+            # Must be an exact-signature tie (indistinguishable fault).
+            assert best.score == pytest.approx(1.0)
+            assert dictionary.signature_of(best.fault_name) == (
+                dictionary.signature_of(true_name)
+            )
+        else:
+            assert best.score == pytest.approx(1.0)
+
+
+def test_partial_observations_still_rank_high(dictionary):
+    """Withholding some workloads degrades resolution gracefully."""
+    campaign = dictionary.campaign
+    detected = np.flatnonzero(campaign.observed.sum(axis=0) >= 4)
+    fault_index = int(detected[0])
+    candidates = dictionary.diagnose_fault_index(fault_index, top=10,
+                                                 drop_workloads=4)
+    names = [candidate.fault_name for candidate in candidates]
+    true_name = campaign.faults[fault_index].name
+    true_signature = dictionary.signature_of(true_name)
+    # The true fault (or an equivalent) is among the top candidates.
+    assert any(
+        name == true_name
+        or dictionary.signature_of(name) == true_signature
+        or candidates[position].score >= candidates[0].score - 1e-9
+        for position, name in enumerate(names[:5])
+    )
+
+
+def test_undetected_syndrome_matches_benign_faults(dictionary):
+    """An all-pass observation matches faults never detected."""
+    observed = {name: -1 for name in dictionary.workload_names}
+    candidates = dictionary.diagnose(observed, top=3)
+    campaign = dictionary.campaign
+    for candidate in candidates:
+        index = [fault.name for fault in campaign.faults].index(
+            candidate.fault_name
+        )
+        assert not campaign.observed[:, index].any()
+        assert candidate.score >= 0.9  # all detection cycles agree
+
+
+def test_validation(dictionary):
+    with pytest.raises(SimulationError):
+        dictionary.diagnose({})
+    with pytest.raises(SimulationError):
+        dictionary.diagnose({"nope": 3})
+    with pytest.raises(SimulationError):
+        dictionary.signature_of("nope")
+    with pytest.raises(SimulationError):
+        dictionary.diagnose_fault_index(
+            0, drop_workloads=len(dictionary.workload_names)
+        )
+
+
+def test_describe(dictionary):
+    candidates = dictionary.diagnose_fault_index(0, top=1)
+    text = candidates[0].describe()
+    assert "score" in text and "workloads agree" in text

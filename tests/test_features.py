@@ -1,0 +1,140 @@
+"""Tests for node feature extraction."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import CircuitBuilder
+from repro.features import (
+    EXTENDED_FEATURE_NAMES,
+    FEATURE_NAMES,
+    connection_counts,
+    cop_probabilities,
+    extract_features,
+    inverting_tags,
+    logic_levels,
+    output_distances,
+    simulate_probabilities,
+)
+from repro.netlist import Netlist
+from repro.sim import Simulator, Workload, random_workload
+from repro.utils.errors import SimulationError
+
+
+def test_connection_counts(tiny_netlist):
+    counts = connection_counts(tiny_netlist)
+    # AN2: 2 fanin + (IV + PO) = 4; IV: 1 fanin + PO = 2.
+    assert list(counts) == [4.0, 2.0]
+
+
+def test_inverting_tags(tiny_netlist):
+    assert list(inverting_tags(tiny_netlist)) == [0.0, 1.0]
+
+
+def test_logic_levels(tiny_netlist):
+    assert list(logic_levels(tiny_netlist)) == [0.0, 1.0]
+
+
+def test_output_distances():
+    netlist = Netlist("chain")
+    a = netlist.add_input("a")
+    n1 = netlist.add_gate("IV", [a])
+    n2 = netlist.add_gate("IV", [n1])
+    n3 = netlist.add_gate("IV", [n2])
+    netlist.add_output(n3, "y")
+    assert list(output_distances(netlist)) == [2.0, 1.0, 0.0]
+
+
+def test_cop_probabilities_known_gates():
+    builder = CircuitBuilder("cop")
+    a = builder.input("a")
+    b = builder.input("b")
+    builder.output(builder.and_(a, b), "y_and")
+    builder.output(builder.nor(a, b), "y_nor")
+    builder.output(builder.xor(a, b), "y_xor")
+    probabilities = cop_probabilities(builder.netlist)
+    p = probabilities.state_probability_one
+    assert p[0] == pytest.approx(0.25)   # AND
+    assert p[1] == pytest.approx(0.25)   # NOR
+    assert p[2] == pytest.approx(0.5)    # XOR
+    assert probabilities.transition_probability[2] == pytest.approx(0.5)
+
+
+def test_cop_sequential_fixpoint():
+    """Toggle flop with reset treated as a P=0.5 input: the sequential
+    fixpoint solves p = (1 - p) * (1 - P(rst)) = (1 - p) / 2 = 1/3."""
+    builder = CircuitBuilder("toggle")
+    reset = builder.input("rst")
+    flop = builder.netlist.add_gate("DFFR", [reset, reset])
+    inverted = builder.not_(flop)
+    from repro.circuits.fsm import _rewire_input
+
+    _rewire_input(builder, flop, 0, inverted)
+    builder.output(inverted, "q")
+    probabilities = cop_probabilities(builder.netlist, iterations=64)
+    gate_index = builder.netlist.nets[flop].driver
+    assert probabilities.state_probability_one[gate_index] == (
+        pytest.approx(1.0 / 3.0, abs=0.01)
+    )
+
+
+def test_simulated_probabilities_match_trace(icfsm):
+    workload = random_workload(icfsm, cycles=50, seed=4)
+    probabilities = simulate_probabilities(icfsm, [workload])
+    trace = Simulator(icfsm).run(workload, record_nets=True)
+    gate = icfsm.gates[10]
+    measured = trace.net_values[:, gate.output].mean()
+    assert probabilities.state_probability_one[10] == pytest.approx(
+        measured
+    )
+
+
+def test_extract_features_shape_and_names(icfsm):
+    workload = random_workload(icfsm, cycles=40, seed=0)
+    features = extract_features(icfsm, workloads=[workload])
+    assert features.matrix.shape == (icfsm.n_gates, 5)
+    assert features.feature_names == FEATURE_NAMES
+    assert features.node_names == icfsm.node_names()
+    # P0 + P1 = 1 columns
+    p0 = features.column("Intrinsic state probability of 0")
+    p1 = features.column("Intrinsic state probability of 1")
+    assert np.allclose(p0 + p1, 1.0)
+
+
+def test_extract_features_extended(icfsm):
+    features = extract_features(icfsm, probability_source="cop",
+                                extended=True)
+    assert features.matrix.shape == (icfsm.n_gates, 13)
+    assert features.feature_names == FEATURE_NAMES + EXTENDED_FEATURE_NAMES
+
+
+def test_extract_requires_workloads_for_simulation(icfsm):
+    with pytest.raises(SimulationError, match="workloads"):
+        extract_features(icfsm)
+
+
+def test_extract_unknown_source(icfsm):
+    with pytest.raises(SimulationError, match="probability source"):
+        extract_features(icfsm, probability_source="magic")
+
+
+def test_features_row_column_without(icfsm):
+    features = extract_features(icfsm, probability_source="cop")
+    row = features.row(features.node_names[3])
+    assert row.shape == (5,)
+    with pytest.raises(SimulationError):
+        features.row("nope")
+    reduced = features.without("Boolean inverting tag")
+    assert reduced.n_features == 4
+    assert "Boolean inverting tag" not in reduced.feature_names
+    with pytest.raises(SimulationError):
+        features.without("nope")
+
+
+def test_standardized_features(icfsm):
+    features = extract_features(icfsm, probability_source="cop")
+    standardized = features.standardized()
+    means = standardized.matrix.mean(axis=0)
+    stds = standardized.matrix.std(axis=0)
+    assert np.allclose(means, 0.0, atol=1e-9)
+    nontrivial = features.matrix.std(axis=0) > 0
+    assert np.allclose(stds[nontrivial], 1.0)

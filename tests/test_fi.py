@@ -1,0 +1,222 @@
+"""Tests for fault models, observation specs, campaigns and reports."""
+
+import numpy as np
+import pytest
+
+from repro.fi import (
+    CriticalityDataset,
+    FaultClass,
+    dataset_from_campaign,
+    faults_for_nodes,
+    format_report,
+    full_fault_universe,
+    generate_dataset,
+    run_campaign,
+    sample_faults,
+)
+from repro.fi.observation import (
+    DESIGN_OBSERVATION,
+    ObservationSpec,
+    observation_for,
+)
+from repro.sim import Workload, design_workloads, random_workload
+from repro.utils.errors import SimulationError
+
+
+@pytest.fixture(scope="module")
+def icfsm_campaign(icfsm):
+    workloads = design_workloads(icfsm.name, icfsm, count=6, cycles=100,
+                                 seed=0)
+    return run_campaign(icfsm, workloads)
+
+
+class TestFaults:
+    def test_full_universe(self, tiny_netlist):
+        faults = full_fault_universe(tiny_netlist)
+        assert len(faults) == 4  # 2 gates x SA0/SA1
+        names = {fault.name for fault in faults}
+        assert "AN2_U1/SA0" in names and "IV_U2/SA1" in names
+
+    def test_faults_for_nodes(self, tiny_netlist):
+        faults = faults_for_nodes(tiny_netlist, ["IV_U2"])
+        assert len(faults) == 2
+        assert all(fault.node_name == "IV_U2" for fault in faults)
+
+    def test_sample_keeps_pairs(self, icfsm):
+        faults = full_fault_universe(icfsm)
+        sampled = sample_faults(faults, 0.25, seed=1)
+        by_node = {}
+        for fault in sampled:
+            by_node.setdefault(fault.node_name, []).append(fault)
+        assert all(len(pair) == 2 for pair in by_node.values())
+        assert len(by_node) == pytest.approx(icfsm.n_gates * 0.25, abs=2)
+
+    def test_sample_fraction_validation(self, tiny_netlist):
+        faults = full_fault_universe(tiny_netlist)
+        with pytest.raises(SimulationError):
+            sample_faults(faults, 0.0)
+
+
+class TestObservation:
+    def test_registered_specs_compile(self, all_designs):
+        for design in all_designs:
+            spec = observation_for(design)
+            assert spec is not None
+            compiled = spec.compile(design)
+            assert len(compiled.output_names) == design.n_outputs
+
+    def test_compare_mask_gating(self, or1200_if):
+        compiled = DESIGN_OBSERVATION["or1200_if"].compile(or1200_if)
+        names = or1200_if.output_names()
+        golden = np.zeros(len(names), dtype=bool)
+        mask = compiled.compare_mask(golden)
+        # if_valid low: instruction/pc bits excluded, handshake kept.
+        assert not mask[names.index("if_insn_0")]
+        assert not mask[names.index("if_pc_31")]
+        assert mask[names.index("if_valid")]
+        golden[names.index("if_valid")] = True
+        mask = compiled.compare_mask(golden)
+        assert mask[names.index("if_insn_0")]
+
+    def test_unknown_strobe_rejected(self, icfsm):
+        spec = ObservationSpec(strobes={"ack": ("nope", 1)})
+        with pytest.raises(SimulationError, match="strobe output"):
+            spec.compile(icfsm)
+
+    def test_unknown_target_rejected(self, icfsm):
+        spec = ObservationSpec(strobes={"nope": ("ack", 1)})
+        with pytest.raises(SimulationError, match="matches no output"):
+            spec.compile(icfsm)
+
+
+class TestCampaign:
+    def test_shapes(self, icfsm, icfsm_campaign):
+        campaign = icfsm_campaign
+        n_faults = 2 * icfsm.n_gates
+        assert campaign.error_cycles.shape == (6, n_faults)
+        assert campaign.detection_cycle.shape == (6, n_faults)
+        assert campaign.latent.shape == (6, n_faults)
+        assert campaign.simulation_seconds > 0
+        assert len(campaign.node_names) == icfsm.n_gates
+
+    def test_dangerous_consistent_with_error_rate(self, icfsm_campaign):
+        campaign = icfsm_campaign
+        rate = campaign.error_rate
+        assert ((rate >= campaign.severity) == campaign.dangerous).all()
+        assert (campaign.observed | ~campaign.dangerous).all()
+
+    def test_detection_cycle_only_for_observed(self, icfsm_campaign):
+        campaign = icfsm_campaign
+        observed = campaign.observed
+        assert (campaign.detection_cycle[observed] >= 0).all()
+        assert (campaign.detection_cycle[~observed] == -1).all()
+
+    def test_latent_disjoint_from_observed(self, icfsm_campaign):
+        campaign = icfsm_campaign
+        assert not (campaign.latent & campaign.observed).any()
+
+    def test_node_fraction_matrix_bounds(self, icfsm_campaign):
+        fractions = icfsm_campaign.node_fraction_matrix()
+        assert fractions.min() >= 0.0 and fractions.max() <= 1.0
+
+    def test_workload_report_roundtrip(self, icfsm_campaign):
+        name = icfsm_campaign.workload_names[0]
+        report = icfsm_campaign.workload_report(name)
+        assert report.workload == name
+        assert len(report.records) == len(icfsm_campaign.faults)
+        counts = report.counts()
+        assert sum(counts.values()) == len(report.records)
+        assert 0.0 <= report.coverage() <= 1.0
+        text = format_report(report)
+        assert name in text and "coverage" in text
+
+    def test_workload_report_unknown(self, icfsm_campaign):
+        with pytest.raises(SimulationError):
+            icfsm_campaign.workload_report("nope")
+
+    def test_empty_inputs_rejected(self, icfsm):
+        with pytest.raises(SimulationError, match="workload"):
+            run_campaign(icfsm, [])
+        workload = random_workload(icfsm, cycles=10, seed=0)
+        with pytest.raises(SimulationError, match="fault"):
+            run_campaign(icfsm, [workload], faults=[])
+        with pytest.raises(SimulationError, match="severity"):
+            run_campaign(icfsm, [workload], severity=1.5)
+
+    def test_observation_reduces_or_keeps_detection(self, icfsm):
+        workloads = design_workloads(icfsm.name, icfsm, count=3,
+                                     cycles=80, seed=1)
+        with_obs = run_campaign(icfsm, workloads, observation="auto")
+        without = run_campaign(icfsm, workloads, observation=None)
+        assert (with_obs.error_cycles <= without.error_cycles).all()
+        assert (with_obs.error_cycles < without.error_cycles).any()
+
+
+class TestDataset:
+    def test_algorithm1_equivalence(self, icfsm_campaign):
+        fast = dataset_from_campaign(icfsm_campaign)
+        literal = generate_dataset(icfsm_campaign.reports(),
+                                   design=icfsm_campaign.netlist_name)
+        assert fast.node_names == literal.node_names
+        assert np.allclose(fast.scores, literal.scores)
+        assert np.array_equal(fast.labels, literal.labels)
+
+    def test_threshold_semantics(self, icfsm_campaign):
+        dataset = dataset_from_campaign(icfsm_campaign, threshold=0.5)
+        assert ((dataset.scores >= 0.5) == dataset.labels.astype(bool)
+                ).all()
+        strict = dataset_from_campaign(icfsm_campaign, threshold=0.9)
+        assert strict.labels.sum() <= dataset.labels.sum()
+
+    def test_lookups(self, icfsm_campaign):
+        dataset = dataset_from_campaign(icfsm_campaign)
+        node = dataset.node_names[0]
+        assert dataset.score_of(node) == pytest.approx(dataset.scores[0])
+        assert dataset.label_of(node) == dataset.labels[0]
+        with pytest.raises(SimulationError):
+            dataset.score_of("nope")
+
+    def test_misaligned_dataset_rejected(self):
+        with pytest.raises(SimulationError):
+            CriticalityDataset(
+                design="x", node_names=["a"],
+                scores=np.array([0.5, 0.5]), labels=np.array([1]),
+                threshold=0.5, n_workloads=1,
+            )
+
+    def test_generate_dataset_empty(self):
+        with pytest.raises(SimulationError):
+            generate_dataset([])
+
+    def test_synthetic_reports_follow_algorithm(self, tiny_netlist):
+        """Hand-built reports: node dangerous in 2 of 4 workloads for
+        one fault only -> score 0.25 with the fault-pair normalizer."""
+        from repro.fi.faults import full_fault_universe
+        from repro.fi.report import FaultRecord, WorkloadReport
+
+        faults = full_fault_universe(tiny_netlist)
+        reports = []
+        for workload_index in range(4):
+            records = []
+            for fault in faults:
+                dangerous = (
+                    fault.node_name == "AN2_U1"
+                    and fault.stuck_at == 0
+                    and workload_index < 2
+                )
+                records.append(FaultRecord(
+                    fault=fault,
+                    classification=(
+                        FaultClass.DANGEROUS if dangerous
+                        else FaultClass.BENIGN
+                    ),
+                    detection_cycle=0 if dangerous else -1,
+                ))
+            reports.append(WorkloadReport(
+                workload=f"w{workload_index}", records=records
+            ))
+        dataset = generate_dataset(reports, threshold=0.2)
+        assert dataset.score_of("AN2_U1") == pytest.approx(0.25)
+        assert dataset.score_of("IV_U2") == 0.0
+        assert dataset.label_of("AN2_U1") == 1
+        assert dataset.label_of("IV_U2") == 0

@@ -1,0 +1,62 @@
+"""Tests for campaign/dataset analysis views."""
+
+import numpy as np
+import pytest
+
+from repro.fi import (
+    always_latent_faults,
+    campaign_summary,
+    coverage_by_workload,
+    criticality_by_cell_type,
+    detection_latency_histogram,
+    undetected_faults,
+)
+
+
+def test_criticality_by_cell_type(icfsm_analyzer):
+    rows = criticality_by_cell_type(icfsm_analyzer.dataset)
+    assert sum(row["nodes"] for row in rows) == (
+        icfsm_analyzer.dataset.n_nodes
+    )
+    means = [row["mean criticality"] for row in rows]
+    assert means == sorted(means, reverse=True)
+    assert all(0.0 <= mean <= 1.0 for mean in means)
+    prefixes = {row["cell type"] for row in rows}
+    assert "DFFR" in prefixes
+
+
+def test_detection_latency_histogram(icfsm_analyzer):
+    campaign = icfsm_analyzer.campaign
+    histogram = detection_latency_histogram(campaign)
+    detected = (campaign.detection_cycle >= 0).sum()
+    assert sum(histogram.values()) == detected
+    assert list(histogram) == ["0-9 cycles", "10-49 cycles",
+                               "50-99 cycles", ">= 100 cycles"]
+
+
+def test_coverage_by_workload(icfsm_analyzer):
+    campaign = icfsm_analyzer.campaign
+    rows = coverage_by_workload(campaign)
+    assert len(rows) == campaign.n_workloads
+    for row in rows:
+        assert row["dangerous faults"] <= row["observed faults"]
+
+
+def test_latent_and_undetected_consistency(icfsm_analyzer):
+    campaign = icfsm_analyzer.campaign
+    latent = set(always_latent_faults(campaign))
+    undetected = set(undetected_faults(campaign))
+    # Always-latent implies never observed.
+    assert latent <= undetected
+    all_names = {fault.name for fault in campaign.faults}
+    assert latent <= all_names and undetected <= all_names
+
+
+def test_campaign_summary(icfsm_analyzer):
+    summary = campaign_summary(icfsm_analyzer.campaign)
+    assert summary["design"] == "or1200_icfsm"
+    assert summary["experiments"] == (
+        len(icfsm_analyzer.campaign.faults)
+        * icfsm_analyzer.campaign.n_workloads
+    )
+    assert summary["always latent"] <= summary["never observed"]

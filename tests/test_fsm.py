@@ -1,0 +1,180 @@
+"""Tests for the FSM synthesizer and its guard-expression language."""
+
+import pytest
+
+from repro.circuits import CircuitBuilder, FsmSpec, parse_guard, synthesize_fsm
+from repro.netlist import validate
+from repro.sim import Simulator
+from repro.utils.errors import NetlistError
+
+
+def make_traffic_fsm(encoding):
+    """A 3-state rotary FSM with guarded and default transitions."""
+    builder = CircuitBuilder(f"traffic_{encoding}")
+    reset = builder.input("rst")
+    go = builder.input("go")
+    halt = builder.input("halt")
+    spec = FsmSpec("traffic", states=["RED", "GREEN", "YELLOW"],
+                   reset_state="RED")
+    spec.transition("RED", "GREEN", when="go & ~halt")
+    spec.transition("GREEN", "YELLOW", when="halt")
+    spec.transition("YELLOW", "RED")  # unconditional default
+    spec.moore_output("stop", states=["RED", "YELLOW"])
+    spec.mealy_output("launch", [("RED", "go & ~halt")])
+    fsm = synthesize_fsm(spec, builder,
+                         inputs={"go": go, "halt": halt},
+                         reset=reset, encoding=encoding)
+    for state, net in fsm.state_bits.items():
+        builder.output(net, f"in_{state}")
+    builder.output(fsm.outputs["stop"], "stop")
+    builder.output(fsm.outputs["launch"], "launch")
+    validate(builder.netlist)
+    return builder.netlist
+
+
+@pytest.mark.parametrize("encoding", ["one-hot", "binary"])
+def test_fsm_walkthrough(encoding):
+    netlist = make_traffic_fsm(encoding)
+    sim = Simulator(netlist)
+    out = sim.step({"rst": 1})
+    out = sim.step({"rst": 0})
+    assert out["in_RED"] == 1 and out["stop"] == 1
+    # go & halt -> stays RED (guard requires ~halt)
+    out = sim.step({"go": 1, "halt": 1})
+    assert out["in_RED"] == 1
+    # launch is a Mealy pulse on the transition condition
+    out = sim.step({"go": 1, "halt": 0})
+    assert out["in_RED"] == 1 and out["launch"] == 1
+    out = sim.step({"go": 0, "halt": 0})
+    assert out["in_GREEN"] == 1 and out["stop"] == 0
+    # GREEN holds until halt
+    out = sim.step({"go": 0, "halt": 0})
+    assert out["in_GREEN"] == 1
+    out = sim.step({"halt": 1})
+    assert out["in_GREEN"] == 1
+    out = sim.step({"halt": 0})
+    assert out["in_YELLOW"] == 1 and out["stop"] == 1
+    # YELLOW -> RED unconditionally on the next cycle
+    out = sim.step({})
+    assert out["in_RED"] == 1
+
+
+@pytest.mark.parametrize("encoding", ["one-hot", "binary"])
+def test_fsm_exactly_one_state_active(encoding):
+    netlist = make_traffic_fsm(encoding)
+    sim = Simulator(netlist)
+    sim.step({"rst": 1})
+    import numpy as np
+
+    rng = np.random.default_rng(3)
+    for _ in range(50):
+        out = sim.step({"go": int(rng.integers(2)),
+                        "halt": int(rng.integers(2)), "rst": 0})
+        active = out["in_RED"] + out["in_GREEN"] + out["in_YELLOW"]
+        assert active == 1
+
+
+def test_fsm_encodings_equivalent():
+    a = make_traffic_fsm("one-hot")
+    b = make_traffic_fsm("binary")
+    import numpy as np
+
+    sim_a, sim_b = Simulator(a), Simulator(b)
+    sim_a.step({"rst": 1}); sim_b.step({"rst": 1})
+    rng = np.random.default_rng(9)
+    for _ in range(80):
+        row = {"go": int(rng.integers(2)), "halt": int(rng.integers(2)),
+               "rst": int(rng.random() < 0.05)}
+        out_a, out_b = sim_a.step(row), sim_b.step(row)
+        assert out_a == out_b
+
+
+def test_guard_priority_is_declaration_order():
+    """Overlapping guards resolve like an if/else-if chain."""
+    builder = CircuitBuilder("prio")
+    reset = builder.input("rst")
+    x = builder.input("x")
+    spec = FsmSpec("p", states=["A", "B", "C"], reset_state="A")
+    spec.transition("A", "B", when="x")
+    spec.transition("A", "C", when="x")  # shadowed by the first guard
+    fsm = synthesize_fsm(spec, builder, inputs={"x": x}, reset=reset)
+    for state, net in fsm.state_bits.items():
+        builder.output(net, f"in_{state}")
+    sim = Simulator(builder.netlist)
+    sim.step({"rst": 1})
+    sim.step({"rst": 0})
+    out = sim.step({"x": 1})
+    out = sim.step({"x": 0})
+    assert out["in_B"] == 1 and out["in_C"] == 0
+
+
+def test_guard_parser_expressions():
+    builder = CircuitBuilder("expr")
+    signals = {name: builder.input(name) for name in ("p", "q", "r")}
+    net = parse_guard("~(p & q) | r", builder, signals)
+    builder.output(net, "y")
+    sim = Simulator(builder.netlist)
+    for bits in range(8):
+        p, q, r = (bits >> 0) & 1, (bits >> 1) & 1, (bits >> 2) & 1
+        observed = sim.step({"p": p, "q": q, "r": r})
+        assert observed["y"] == int((not (p and q)) or r)
+
+
+def test_guard_parser_errors():
+    builder = CircuitBuilder("bad")
+    signals = {"a": builder.input("a")}
+    with pytest.raises(NetlistError, match="unknown signal"):
+        parse_guard("a & zz", builder, signals)
+    with pytest.raises(NetlistError, match="unexpected end"):
+        parse_guard("(a", builder, signals)
+    with pytest.raises(NetlistError, match="missing '\\)'"):
+        parse_guard("(a b", builder, signals)
+    with pytest.raises(NetlistError, match="unexpected end"):
+        parse_guard("a &", builder, signals)
+    with pytest.raises(NetlistError, match="trailing"):
+        parse_guard("a )", builder, signals)
+
+
+def test_spec_validation():
+    with pytest.raises(NetlistError, match="duplicate state"):
+        FsmSpec("d", states=["A", "A"], reset_state="A")
+    with pytest.raises(NetlistError, match="reset state"):
+        FsmSpec("d", states=["A"], reset_state="B")
+    spec = FsmSpec("d", states=["A", "B"], reset_state="A")
+    with pytest.raises(NetlistError, match="unknown state"):
+        spec.transition("A", "Z")
+    spec.transition("A", "B")
+    with pytest.raises(NetlistError, match="default"):
+        spec.transition("A", "B")  # second default
+
+
+def test_unknown_encoding_rejected():
+    builder = CircuitBuilder("enc")
+    reset = builder.input("rst")
+    spec = FsmSpec("e", states=["A", "B"], reset_state="A")
+    spec.transition("A", "B", when="x")
+    with pytest.raises(NetlistError, match="encoding"):
+        synthesize_fsm(spec, builder, inputs={"x": builder.input("x")},
+                       reset=reset, encoding="gray")
+
+
+def test_unreachable_state_synthesizes():
+    """A state no transition targets is legal: its flop pins to 0 and
+    its indicator goes (and stays) inactive after reset."""
+    builder = CircuitBuilder("unreach")
+    reset = builder.input("rst")
+    go = builder.input("go")
+    spec = FsmSpec("u", states=["A", "B", "ORPHAN"], reset_state="A")
+    spec.transition("A", "B", when="go")
+    spec.transition("B", "A", when="~go")
+    # ORPHAN is never a destination.
+    fsm = synthesize_fsm(spec, builder, inputs={"go": go}, reset=reset)
+    for state, net in fsm.state_bits.items():
+        builder.output(net, f"in_{state}")
+    validate(builder.netlist)
+    sim = Simulator(builder.netlist)
+    sim.step({"rst": 1})
+    for value in (0, 1, 1, 0, 1):
+        out = sim.step({"rst": 0, "go": value})
+        assert out["in_ORPHAN"] == 0
+        assert out["in_A"] + out["in_B"] == 1

@@ -1,0 +1,210 @@
+"""Tests for the reusable datapath blocks."""
+
+import pytest
+
+from repro.circuits import CircuitBuilder, down_timer, lfsr, shift_register, up_counter
+from repro.netlist import validate
+from repro.sim import Simulator
+from repro.utils.errors import NetlistError
+
+
+def read_word(outputs, prefix, width):
+    return sum(outputs[f"{prefix}_{i}"] << i for i in range(width))
+
+
+def test_up_counter_counts_and_wraps():
+    builder = CircuitBuilder("ctr")
+    reset = builder.input("rst")
+    ports = up_counter(builder, 3, reset, with_wrap=True)
+    builder.output_bus(ports.value, "q")
+    builder.output(ports.wrap, "w")
+    validate(builder.netlist)
+    sim = Simulator(builder.netlist)
+    sim.step({"rst": 1})
+    values = []
+    wraps = []
+    for _ in range(10):
+        out = sim.step({"rst": 0})
+        values.append(read_word(out, "q", 3))
+        wraps.append(out["w"])
+    assert values == [0, 1, 2, 3, 4, 5, 6, 7, 0, 1]
+    assert wraps[7] == 1 and sum(wraps) == 1
+
+
+def test_up_counter_enable_and_clear():
+    builder = CircuitBuilder("ctr2")
+    reset = builder.input("rst")
+    enable = builder.input("en")
+    clear = builder.input("clr")
+    ports = up_counter(builder, 3, reset, enable=enable, clear=clear)
+    builder.output_bus(ports.value, "q")
+    sim = Simulator(builder.netlist)
+    sim.step({"rst": 1})
+    sim.step({"rst": 0, "en": 1})  # shows 0, commits 1
+    sim.step({"en": 1})            # shows 1, commits 2
+    out = sim.step({"en": 0})
+    assert read_word(out, "q", 3) == 2
+    out = sim.step({"en": 0})
+    assert read_word(out, "q", 3) == 2  # held
+    out = sim.step({"en": 1, "clr": 1})
+    out = sim.step({"en": 0})
+    assert read_word(out, "q", 3) == 0  # clear wins over enable
+
+
+def test_down_timer():
+    builder = CircuitBuilder("timer")
+    reset = builder.input("rst")
+    load = builder.input("ld")
+    ports = down_timer(builder, 3, load_value=3, load=load, reset=reset)
+    builder.output_bus(ports.value, "q")
+    builder.output(ports.done, "done")
+    validate(builder.netlist)
+    sim = Simulator(builder.netlist)
+    sim.step({"rst": 1})
+    out = sim.step({"rst": 0, "ld": 1})
+    assert out["done"] == 1  # still zero this cycle
+    trace = []
+    for _ in range(5):
+        out = sim.step({"ld": 0})
+        trace.append((read_word(out, "q", 3), out["done"]))
+    assert trace == [(3, 0), (2, 0), (1, 0), (0, 1), (0, 1)]
+
+
+def test_down_timer_load_value_range():
+    builder = CircuitBuilder("bad")
+    reset = builder.input("rst")
+    load = builder.input("ld")
+    with pytest.raises(NetlistError):
+        down_timer(builder, 2, load_value=4, load=load, reset=reset)
+
+
+def test_shift_register():
+    builder = CircuitBuilder("shift")
+    reset = builder.input("rst")
+    serial = builder.input("si")
+    stages = shift_register(builder, serial, 4, reset)
+    builder.output_bus(stages, "q")
+    sim = Simulator(builder.netlist)
+    sim.step({"rst": 1})
+    pattern = [1, 0, 1, 1]
+    for bit in pattern:
+        sim.step({"rst": 0, "si": bit})
+    # Outputs show the committed state one step later; stage 0 is the
+    # most recent bit.
+    out = sim.step({"si": 0})
+    assert [out[f"q_{i}"] for i in range(4)] == [1, 1, 0, 1]
+
+
+def test_lfsr_full_period():
+    builder = CircuitBuilder("lfsr")
+    reset = builder.input("rst")
+    state = lfsr(builder, 4, taps=[3, 2], reset=reset)  # x^4+x^3+1
+    builder.output_bus(state, "q")
+    validate(builder.netlist)
+    sim = Simulator(builder.netlist)
+    sim.step({"rst": 1})
+    seen = []
+    for _ in range(15):
+        out = sim.step({"rst": 0})
+        seen.append(read_word(out, "q", 4))
+    assert len(set(seen)) == 15  # maximal-length sequence
+    assert 0 not in seen
+
+
+def test_lfsr_bad_taps():
+    builder = CircuitBuilder("bad")
+    reset = builder.input("rst")
+    with pytest.raises(NetlistError):
+        lfsr(builder, 4, taps=[9], reset=reset)
+
+
+def test_counter_width_validation():
+    builder = CircuitBuilder("bad")
+    reset = builder.input("rst")
+    with pytest.raises(NetlistError):
+        up_counter(builder, 0, reset)
+
+
+def test_fifo_controller_flags_and_pointers():
+    from repro.circuits import CircuitBuilder, fifo_controller
+
+    builder = CircuitBuilder("fifo")
+    reset = builder.input("rst")
+    write = builder.input("wr")
+    read = builder.input("rd")
+    ports = fifo_controller(builder, depth_bits=2, write=write,
+                            read=read, reset=reset)
+    builder.output(ports.full, "full")
+    builder.output(ports.empty, "empty")
+    builder.output_bus(ports.count, "cnt")
+    builder.output_bus(ports.read_pointer, "rp")
+    builder.output_bus(ports.write_pointer, "wp")
+    from repro.netlist import validate
+    validate(builder.netlist)
+
+    sim = Simulator(builder.netlist)
+    sim.step({"rst": 1})
+    out = sim.step({"rst": 0, "wr": 0, "rd": 0})
+    assert out["empty"] == 1 and out["full"] == 0
+
+    # Fill the 4-entry FIFO.
+    for _ in range(4):
+        out = sim.step({"wr": 1, "rd": 0})
+    out = sim.step({"wr": 0, "rd": 0})
+    assert out["full"] == 1 and out["empty"] == 0
+    assert read_word(out, "cnt", 3) == 4
+    assert read_word(out, "wp", 2) == 0  # wrapped modulo depth
+
+    # Writes while full are ignored.
+    sim.step({"wr": 1, "rd": 0})
+    out = sim.step({"wr": 0, "rd": 0})
+    assert read_word(out, "cnt", 3) == 4
+
+    # Drain.
+    for _ in range(4):
+        out = sim.step({"wr": 0, "rd": 1})
+    out = sim.step({"wr": 0, "rd": 0})
+    assert out["empty"] == 1
+    assert read_word(out, "rp", 2) == 0
+
+    # Reads while empty are ignored.
+    sim.step({"wr": 0, "rd": 1})
+    out = sim.step({"wr": 0, "rd": 0})
+    assert out["empty"] == 1
+
+
+def test_fifo_simultaneous_read_write_holds_count():
+    from repro.circuits import CircuitBuilder, fifo_controller
+
+    builder = CircuitBuilder("fifo2")
+    reset = builder.input("rst")
+    write = builder.input("wr")
+    read = builder.input("rd")
+    ports = fifo_controller(builder, depth_bits=2, write=write,
+                            read=read, reset=reset)
+    builder.output_bus(ports.count, "cnt")
+    builder.output(ports.full, "full")
+    builder.output(ports.empty, "empty")
+    builder.output_bus(ports.read_pointer, "rp")
+    builder.output_bus(ports.write_pointer, "wp")
+    sim = Simulator(builder.netlist)
+    sim.step({"rst": 1})
+    sim.step({"rst": 0, "wr": 1, "rd": 0})
+    sim.step({"wr": 1, "rd": 0})  # two entries queued
+    for _ in range(3):
+        out = sim.step({"wr": 1, "rd": 1})  # streaming through
+    out = sim.step({"wr": 0, "rd": 0})
+    assert read_word(out, "cnt", 3) == 2  # count unchanged
+    # Both pointers advanced by the streamed beats.
+    assert read_word(out, "rp", 2) == 3 % 4
+    assert read_word(out, "wp", 2) == (2 + 3) % 4
+
+
+def test_fifo_depth_validation():
+    from repro.circuits import CircuitBuilder, fifo_controller
+
+    builder = CircuitBuilder("bad")
+    reset = builder.input("rst")
+    with pytest.raises(NetlistError):
+        fifo_controller(builder, depth_bits=0, write=reset, read=reset,
+                        reset=reset)

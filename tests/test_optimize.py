@@ -1,0 +1,94 @@
+"""Tests for the constant-folding / dead-code-elimination pass."""
+
+import pytest
+
+from repro.circuits import CircuitBuilder
+from repro.netlist import check, check_equivalence
+from repro.netlist.optimize import optimize_netlist
+
+
+def test_constant_folding_through_gates():
+    """AND with tie-0 folds; the cone feeding it dies."""
+    builder = CircuitBuilder("fold")
+    a = builder.input("a")
+    b = builder.input("b")
+    dead_cone = builder.xor(builder.not_(a), b)     # feeds only the AND
+    zero = builder.const0()
+    folded = builder.and_(dead_cone, zero)           # always 0
+    keep = builder.or_(folded, a)                    # == a
+    builder.output(keep, "y")
+    builder.output(builder.and_(a, b), "z")          # live logic
+
+    optimized, report = optimize_netlist(builder.netlist)
+    assert report.gates_removed > 0
+    assert "AN2" in " ".join(report.folded_constants)
+    # The XOR/IV cone is dead once the AND folds.
+    assert any(name.startswith("XOR2") for name in report.removed_dead)
+    result = check_equivalence(builder.netlist, optimized,
+                               workloads=4, cycles=30,
+                               reset_input="a")
+    assert result.equivalent
+
+
+def test_partial_evaluation_constance():
+    """OR with tie-1 is constant even though another input varies."""
+    builder = CircuitBuilder("or1")
+    a = builder.input("a")
+    one = builder.const1()
+    always = builder.or_(a, one)
+    builder.output(always, "y")
+    builder.output(a, "echo")
+    optimized, report = optimize_netlist(builder.netlist)
+    # y becomes a tie; the OR itself disappears.
+    assert optimized.n_gates == 1  # just the shared TIE1
+    result = check_equivalence(builder.netlist, optimized,
+                               workloads=3, cycles=20, reset_input="a")
+    assert result.equivalent
+
+
+def test_evaluation_designs_shrink_but_stay_equivalent(all_designs):
+    for design in all_designs:
+        optimized, report = optimize_netlist(design)
+        assert report.gates_after <= report.gates_before
+        problems = [p for p in check(optimized) if "dangling" not in p]
+        assert problems == []
+        result = check_equivalence(design, optimized, workloads=3,
+                                   cycles=60)
+        assert result.equivalent, (design.name,
+                                   result.counterexample.describe())
+
+
+def test_flops_never_folded():
+    """A flop with constant D is kept (its value differs during
+    reset), and its downstream logic stays."""
+    builder = CircuitBuilder("flopk")
+    reset = builder.input("rst")
+    one = builder.const1()
+    flop = builder.dffr(one, reset)  # 0 during reset, then 1
+    builder.output(flop, "q")
+    optimized, report = optimize_netlist(builder.netlist)
+    assert len(optimized.sequential_gates()) == 1
+    result = check_equivalence(builder.netlist, optimized,
+                               workloads=3, cycles=20,
+                               reset_input="rst")
+    assert result.equivalent
+
+
+def test_dead_flop_removed():
+    builder = CircuitBuilder("deadflop")
+    reset = builder.input("rst")
+    a = builder.input("a")
+    live = builder.dffr(a, reset)
+    dead = builder.dffr(builder.not_(a), reset)
+    _consume = builder.dffr(dead, reset)  # dead chain, no PO
+    builder.output(live, "q")
+    optimized, report = optimize_netlist(builder.netlist)
+    assert len(optimized.sequential_gates()) == 1
+    assert len(report.removed_dead) >= 2
+
+
+def test_instance_names_preserved(icfsm):
+    optimized, _ = optimize_netlist(icfsm)
+    kept = set(optimized.node_names()) - {"TIE0_opt_tie0",
+                                          "TIE1_opt_tie1"}
+    assert kept <= set(icfsm.node_names())

@@ -1,0 +1,124 @@
+"""Additional property-based tests: cell probability semantics, SCOAP
+bounds, workload generators, collapsing, and persistence."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import random_netlist
+from repro.features import compute_scoap
+from repro.features.scoap import INFINITE
+from repro.fi import collapse_faults, full_fault_universe
+from repro.netlist.cells import LIBRARY
+from repro.sim import random_workload
+
+SLOW = settings(
+    max_examples=12, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+COMBINATIONAL = sorted(
+    name for name, cell in LIBRARY.items()
+    if not cell.sequential and cell.n_inputs >= 1
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.sampled_from(COMBINATIONAL),
+    st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=4,
+             max_size=4),
+)
+def test_output_probability_matches_monte_carlo(cell_name, probabilities):
+    """Exact truth-table probability == empirical frequency."""
+    cell = LIBRARY[cell_name]
+    input_probabilities = probabilities[:cell.n_inputs]
+    exact = cell.output_probability(input_probabilities)
+    assert 0.0 <= exact <= 1.0
+
+    rng = np.random.default_rng(1234)
+    samples = 20_000
+    draws = rng.random((samples, cell.n_inputs)) < np.array(
+        input_probabilities
+    )
+    outputs = np.fromiter(
+        (cell.function(tuple(int(b) for b in row), 1) & 1
+         for row in draws),
+        dtype=np.int64, count=samples,
+    )
+    assert exact == pytest.approx(outputs.mean(), abs=0.02)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sampled_from(COMBINATIONAL))
+def test_probability_endpoints(cell_name):
+    """With deterministic inputs, the probability is the truth table."""
+    cell = LIBRARY[cell_name]
+    for bits, out in cell.truth_table():
+        probability = cell.output_probability([float(b) for b in bits])
+        assert probability == pytest.approx(float(out))
+
+
+@SLOW
+@given(st.integers(0, 5000))
+def test_scoap_bounds_on_random_netlists(seed):
+    netlist = random_netlist(n_inputs=5, n_gates=40, n_flops=4,
+                             n_outputs=4, seed=seed)
+    measures = compute_scoap(netlist)
+    finite_cc0 = measures.net_cc0[measures.net_cc0 < INFINITE]
+    finite_cc1 = measures.net_cc1[measures.net_cc1 < INFINITE]
+    assert (finite_cc0 >= 1).all()
+    assert (finite_cc1 >= 1).all()
+    # Observability is zero exactly at observation points.
+    po_nets = {net for net, _ in netlist.primary_outputs}
+    for net in po_nets:
+        assert measures.net_co[net] == 0
+
+
+@SLOW
+@given(st.integers(0, 5000))
+def test_collapse_classes_partition(seed):
+    netlist = random_netlist(n_inputs=5, n_gates=35, n_flops=3,
+                             n_outputs=3, seed=seed)
+    faults = full_fault_universe(netlist)
+    universe = collapse_faults(netlist, faults)
+    assert len(universe.class_of) == len(faults)
+    assert universe.class_of.max() == len(universe.representatives) - 1
+    # Every representative maps to its own class.
+    for position, representative in enumerate(universe.representatives):
+        original_index = faults.index(representative)
+        assert universe.class_of[original_index] == position
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(10, 80), st.integers(0, 1000),
+       st.floats(min_value=0.1, max_value=0.9))
+def test_random_workload_bias(cycles, seed, bias):
+    netlist = random_netlist(n_inputs=12, n_gates=10, n_flops=0,
+                             n_outputs=2, seed=0)
+    workload = random_workload(netlist, cycles=cycles, seed=seed,
+                               bias=bias, reset_input="in_0")
+    assert workload.vectors.shape == (cycles, 12)
+    body = workload.vectors[2:, 1:]  # past reset, excluding reset column
+    if body.size >= 200:
+        assert body.mean() == pytest.approx(bias, abs=0.2)
+
+
+def test_workload_generators_deterministic(all_designs):
+    from repro.sim import design_workloads
+
+    for design in all_designs:
+        first = design_workloads(design.name, design, count=3,
+                                 cycles=50, seed=5)
+        second = design_workloads(design.name, design, count=3,
+                                  cycles=50, seed=5)
+        for a, b in zip(first, second):
+            assert a.name == b.name
+            assert np.array_equal(a.vectors, b.vectors)
+        different = design_workloads(design.name, design, count=3,
+                                     cycles=50, seed=6)
+        assert any(
+            not np.array_equal(a.vectors, b.vectors)
+            for a, b in zip(first, different)
+        )

@@ -1,0 +1,123 @@
+"""Property-based correctness tests for synthesis and transforms:
+
+* one-hot and binary encodings of random FSMs are behaviourally
+  equivalent;
+* TMR hardening of arbitrary nodes preserves fault-free behaviour;
+* the optimizer preserves behaviour on random netlists (which are rich
+  in dead logic and constant cones — the hard cases).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import CircuitBuilder, FsmSpec, random_netlist, synthesize_fsm
+from repro.netlist import check_equivalence, harden_nodes
+from repro.netlist.optimize import optimize_netlist
+from repro.sim import Simulator
+
+SLOW = settings(
+    max_examples=10, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ----------------------------------------------------------------------
+# random FSM specs
+# ----------------------------------------------------------------------
+def build_random_fsm(n_states, n_inputs, transition_seed, encoding):
+    """Synthesize a random-but-valid FSM under the given encoding."""
+    rng = np.random.default_rng(transition_seed)
+    states = [f"S{i}" for i in range(n_states)]
+    input_names = [f"i{k}" for k in range(n_inputs)]
+
+    def random_guard():
+        terms = []
+        for name in input_names:
+            roll = rng.integers(3)
+            if roll == 0:
+                terms.append(name)
+            elif roll == 1:
+                terms.append(f"~{name}")
+        if not terms:
+            terms.append(input_names[int(rng.integers(n_inputs))])
+        connector = " & " if rng.random() < 0.5 else " | "
+        return connector.join(terms)
+
+    spec = FsmSpec("rand", states=states, reset_state=states[0])
+    for source in states:
+        n_outgoing = int(rng.integers(0, 3))
+        for _ in range(n_outgoing):
+            destination = states[int(rng.integers(n_states))]
+            spec.transition(source, destination, when=random_guard())
+        if rng.random() < 0.4:
+            spec.transition(source,
+                            states[int(rng.integers(n_states))])
+    spec.moore_output(
+        "flag", states=[s for i, s in enumerate(states) if i % 2 == 0]
+    )
+
+    builder = CircuitBuilder(f"fsm_{encoding}")
+    reset = builder.input("rst")
+    inputs = {name: builder.input(name) for name in input_names}
+    fsm = synthesize_fsm(spec, builder, inputs=inputs, reset=reset,
+                         encoding=encoding)
+    for state, net in fsm.state_bits.items():
+        builder.output(net, f"in_{state}")
+    builder.output(fsm.outputs["flag"], "flag")
+    return builder.netlist
+
+
+@SLOW
+@given(
+    st.integers(min_value=2, max_value=5),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_fsm_encodings_equivalent_property(n_states, n_inputs,
+                                           transition_seed):
+    one_hot = build_random_fsm(n_states, n_inputs, transition_seed,
+                               "one-hot")
+    binary = build_random_fsm(n_states, n_inputs, transition_seed,
+                              "binary")
+    result = check_equivalence(one_hot, binary, workloads=3, cycles=40,
+                               reset_input="rst")
+    assert result.equivalent, result.counterexample.describe()
+
+
+# ----------------------------------------------------------------------
+# TMR hardening
+# ----------------------------------------------------------------------
+@SLOW
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=1, max_value=5),
+)
+def test_hardening_random_nodes_preserves_behaviour(seed, n_targets):
+    netlist = random_netlist(n_inputs=5, n_gates=35, n_flops=4,
+                             n_outputs=4, seed=seed)
+    rng = np.random.default_rng(seed)
+    names = netlist.node_names()
+    chosen = list(rng.choice(
+        names, size=min(n_targets, len(names)), replace=False
+    ))
+    hardened = harden_nodes(netlist, chosen)
+    result = check_equivalence(netlist, hardened, workloads=3,
+                               cycles=30, reset_input="in_0")
+    assert result.equivalent, result.counterexample.describe()
+
+
+# ----------------------------------------------------------------------
+# optimizer
+# ----------------------------------------------------------------------
+@SLOW
+@given(st.integers(min_value=0, max_value=10_000))
+def test_optimizer_preserves_behaviour_property(seed):
+    netlist = random_netlist(n_inputs=5, n_gates=45, n_flops=5,
+                             n_outputs=4, seed=seed)
+    optimized, report = optimize_netlist(netlist)
+    assert report.gates_after <= report.gates_before
+    result = check_equivalence(netlist, optimized, workloads=3,
+                               cycles=30, reset_input="in_0")
+    assert result.equivalent, result.counterexample.describe()

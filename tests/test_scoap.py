@@ -1,0 +1,115 @@
+"""Tests for SCOAP testability measures."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import CircuitBuilder
+from repro.features import compute_scoap
+from repro.features.scoap import INFINITE
+
+
+def test_and_gate_textbook_values():
+    """Classic SCOAP: AND output CC1 = CC1(a)+CC1(b)+1, CC0 =
+    min(CC0(a),CC0(b))+1; input CO = CO(out)+CC1(other)+1."""
+    builder = CircuitBuilder("scoap_and")
+    a = builder.input("a")
+    b = builder.input("b")
+    y = builder.and_(a, b)
+    builder.output(y, "y")
+    measures = compute_scoap(builder.netlist)
+    assert measures.net_cc1[y] == 1 + 1 + 1
+    assert measures.net_cc0[y] == 1 + 1
+    assert measures.net_co[y] == 0
+    assert measures.net_co[a] == 0 + 1 + 1  # sensitize: b=1
+    assert measures.net_co[b] == 2
+
+
+def test_or_gate_values():
+    builder = CircuitBuilder("scoap_or")
+    a = builder.input("a")
+    b = builder.input("b")
+    y = builder.or_(a, b)
+    builder.output(y, "y")
+    measures = compute_scoap(builder.netlist)
+    assert measures.net_cc0[y] == 3  # both inputs at 0
+    assert measures.net_cc1[y] == 2  # either input at 1
+
+
+def test_xor_gate_values():
+    builder = CircuitBuilder("scoap_xor")
+    a = builder.input("a")
+    b = builder.input("b")
+    y = builder.xor(a, b)
+    builder.output(y, "y")
+    measures = compute_scoap(builder.netlist)
+    # XOR: either polarity needs one specific assignment of both inputs.
+    assert measures.net_cc0[y] == 3
+    assert measures.net_cc1[y] == 3
+    # XOR inputs are always sensitized: CO = CO(out) + cost(other) + 1.
+    assert measures.net_co[a] == 2
+
+
+def test_inverter_chain_accumulates():
+    builder = CircuitBuilder("scoap_chain")
+    a = builder.input("a")
+    n1 = builder.not_(a)
+    n2 = builder.not_(n1)
+    builder.output(n2, "y")
+    measures = compute_scoap(builder.netlist)
+    assert measures.net_cc1[n1] == 2   # a=0 costs 1, +1
+    assert measures.net_cc1[n2] == 3
+    assert measures.net_co[a] == 2     # two inversions to the PO
+    assert measures.net_co[n1] == 1
+
+
+def test_deep_logic_is_harder():
+    """CC grows monotonically with AND-tree depth."""
+    builder = CircuitBuilder("scoap_tree")
+    leaves = [builder.input(f"i{k}") for k in range(8)]
+    level1 = [builder.and_(leaves[2 * k], leaves[2 * k + 1])
+              for k in range(4)]
+    level2 = [builder.and_(level1[0], level1[1]),
+              builder.and_(level1[2], level1[3])]
+    root = builder.and_(level2[0], level2[1])
+    builder.output(root, "y")
+    measures = compute_scoap(builder.netlist)
+    assert (measures.net_cc1[root] > measures.net_cc1[level2[0]]
+            > measures.net_cc1[level1[0]])
+
+
+def test_full_scan_convention(icfsm):
+    measures = compute_scoap(icfsm)
+    for gate in icfsm.sequential_gates():
+        assert measures.net_cc0[gate.output] == 1
+        assert measures.net_cc1[gate.output] == 1
+        # D pins observable under full scan.
+        assert measures.net_co[gate.inputs[0]] == 0
+
+
+def test_designs_have_finite_measures(all_designs):
+    for design in all_designs:
+        measures = compute_scoap(design)
+        # Every gate is controllable to at least one value (TIE cells
+        # are structurally uncontrollable to the other) and observable
+        # under full scan.
+        easiest = np.minimum(measures.gate_cc0, measures.gate_cc1)
+        assert easiest.max() < INFINITE
+        # A handful of gates may be structurally unobservable (logic
+        # masked by tie cells, e.g. the zero-word branch of an address
+        # mux) — SCOAP correctly flags them as untestable sites.
+        unobservable = (measures.gate_co >= INFINITE).sum()
+        assert unobservable <= 0.01 * design.n_gates + 1
+        assert measures.gate_testability.min() >= 1
+
+
+def test_mux_select_controllability():
+    builder = CircuitBuilder("scoap_mux")
+    a = builder.input("a")
+    b = builder.input("b")
+    select = builder.input("s")
+    y = builder.mux(select, a, b)
+    builder.output(y, "y")
+    measures = compute_scoap(builder.netlist)
+    # Output 1 through either branch: data=1 plus matching select.
+    assert measures.net_cc1[y] == 3
+    assert measures.net_cc0[y] == 3

@@ -1,0 +1,53 @@
+"""Tests for netlist validation and statistics."""
+
+import pytest
+
+from repro.netlist import Netlist, check, summarize, validate
+from repro.utils.errors import NetlistError
+
+
+def test_clean_designs_validate(all_designs):
+    for design in all_designs:
+        assert check(design) == []
+        validate(design)
+
+
+def test_dangling_net_detected():
+    netlist = Netlist("dangle")
+    a = netlist.add_input("a")
+    netlist.add_gate("IV", [a])  # output unused
+    problems = check(netlist)
+    assert any("dangling" in p for p in problems)
+    with pytest.raises(NetlistError, match="dangling"):
+        validate(netlist)
+
+
+def test_unused_input_detected():
+    netlist = Netlist("unused")
+    netlist.add_input("a")
+    b = netlist.add_input("b")
+    out = netlist.add_gate("IV", [b])
+    netlist.add_output(out, "y")
+    problems = check(netlist)
+    assert any("'a'" in p and "dangling" in p for p in problems)
+
+
+def test_stats_tiny(tiny_netlist):
+    stats = summarize(tiny_netlist)
+    assert stats.n_gates == 2
+    assert stats.n_flops == 0
+    assert stats.cell_histogram == {"AN2": 1, "IV": 1}
+    assert stats.depth == 1
+    assert stats.area > 0
+
+
+def test_stats_designs(all_designs):
+    for design in all_designs:
+        stats = summarize(design)
+        assert stats.n_gates == design.n_gates
+        assert stats.n_flops == len(design.sequential_gates())
+        assert sum(stats.cell_histogram.values()) == design.n_gates
+        assert stats.max_fanout >= 1
+        row = stats.as_dict()
+        assert row["design"] == design.name
+        assert row["gates"] == design.n_gates

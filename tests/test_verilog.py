@@ -1,0 +1,152 @@
+"""Tests for the structural-Verilog reader/writer."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import random_netlist
+from repro.netlist import (
+    Netlist,
+    from_verilog,
+    read_verilog,
+    to_verilog,
+    validate,
+    write_verilog,
+)
+from repro.sim import Simulator, random_workload
+from repro.utils.errors import NetlistError
+
+
+def roundtrip(netlist):
+    return from_verilog(to_verilog(netlist))
+
+
+def test_roundtrip_preserves_structure(all_designs):
+    for design in all_designs:
+        parsed = roundtrip(design)
+        validate(parsed)
+        assert parsed.name == design.name
+        assert parsed.n_gates == design.n_gates
+        assert parsed.n_nets == design.n_nets
+        assert sorted(parsed.node_names()) == sorted(design.node_names())
+        assert parsed.input_names() == design.input_names()
+        assert parsed.output_names() == design.output_names()
+
+
+def test_roundtrip_preserves_behaviour(icfsm):
+    parsed = roundtrip(icfsm)
+    workload = random_workload(icfsm, cycles=40, seed=5)
+    original = Simulator(icfsm).run(workload)
+    replay = Simulator(parsed).run(workload)
+    assert np.array_equal(original.outputs, replay.outputs)
+
+
+def test_roundtrip_random_netlists():
+    for seed in range(4):
+        netlist = random_netlist(n_inputs=5, n_gates=30, n_flops=4,
+                                 n_outputs=3, seed=seed)
+        parsed = roundtrip(netlist)
+        validate(parsed)
+        workload = random_workload(netlist, cycles=30, seed=seed,
+                                   reset_input="in_0")
+        a = Simulator(netlist).run(workload)
+        b = Simulator(parsed).run(workload)
+        assert np.array_equal(a.outputs, b.outputs)
+
+
+def test_file_io(tmp_path, tiny_netlist):
+    path = tmp_path / "tiny.v"
+    write_verilog(tiny_netlist, path)
+    parsed = read_verilog(path)
+    assert parsed.n_gates == tiny_netlist.n_gates
+
+
+def test_parse_simple_module():
+    source = """
+    // a comment
+    module demo (a, b, y);
+      input a, b;      /* grouped decl */
+      output y;
+      wire n1;
+      ND2 U1 (.A0(a), .A1(b), .Y(n1));
+      IV U2 (.A0(n1), .Y(y));
+    endmodule
+    """
+    netlist = from_verilog(source)
+    assert netlist.name == "demo"
+    assert netlist.n_gates == 2
+    assert netlist.node_names() == ["ND2_U1", "IV_U2"]
+
+
+def test_parse_out_of_order_statements():
+    source = """
+    module ooo (a, y);
+      input a;
+      output y;
+      IV U2 (.A0(n1), .Y(y));
+      IV U1 (.A0(a), .Y(n1));
+    endmodule
+    """
+    netlist = from_verilog(source)
+    assert netlist.n_gates == 2
+    validate(netlist)
+
+
+def test_parse_assign_alias():
+    source = """
+    module alias_demo (a, y);
+      input a;
+      output y;
+      assign y = n1;
+      IV U1 (.A0(a), .Y(n1));
+    endmodule
+    """
+    netlist = from_verilog(source)
+    assert netlist.n_gates == 1
+    assert netlist.output_names() == ["y"]
+
+
+def test_parse_flop_feedback():
+    source = """
+    module counter1 (rst, q);
+      input rst;
+      output q;
+      IV U1 (.A0(q), .Y(nq));
+      DFFR R1 (.D(nq), .R(rst), .Q(q));
+    endmodule
+    """
+    netlist = from_verilog(source)
+    validate(netlist)
+    sim = Simulator(netlist)
+    values = [sim.step({"rst": 0})["q"] for _ in range(4)]
+    assert values == [0, 1, 0, 1]  # toggle flop
+
+
+def test_parse_errors():
+    with pytest.raises(NetlistError, match="no module"):
+        from_verilog("wire x;")
+    with pytest.raises(NetlistError, match="unknown cell"):
+        from_verilog("module m (a, y); input a; output y;"
+                     " FOO U1 (.A0(a), .Y(y)); endmodule")
+    with pytest.raises(NetlistError, match="output"):
+        from_verilog("module m (a, y); input a; output y;"
+                     " IV U1 (.A0(a)); endmodule")
+    with pytest.raises(NetlistError, match="never driven|could not"):
+        from_verilog("module m (a, y); input a; output y;"
+                     " IV U1 (.A0(nx), .Y(y)); endmodule")
+    with pytest.raises(NetlistError, match="unsupported assign"):
+        from_verilog("module m (a, y); input a; output y;"
+                     " assign y = a & a; endmodule")
+
+
+def test_parse_combinational_loop_rejected():
+    source = """
+    module loopy (a, y);
+      input a;
+      output y;
+      AN2 U1 (.A0(a), .A1(n2), .Y(n1));
+      OR2 U2 (.A0(n1), .A1(a), .Y(n2));
+      OR2 U3 (.A0(n1), .A1(n2), .Y(y));
+    endmodule
+    """
+    with pytest.raises(NetlistError, match="could not resolve"):
+        from_verilog(source)

@@ -1,0 +1,120 @@
+"""Tests for 3-valued simulation and reset verification."""
+
+import pytest
+
+from repro.circuits import CircuitBuilder, build_uart
+from repro.netlist import Netlist
+from repro.sim.xsim import ONE, X, ZERO, XSimulator, reset_analysis
+from repro.utils.errors import SimulationError
+
+
+class TestXSimulator:
+    def test_known_values_behave_two_valued(self, tiny_netlist):
+        simulator = XSimulator(tiny_netlist)
+        out = simulator.step({"a": 1, "b": 1})
+        assert out["y"] == ONE and out["yn"] == ZERO
+        out = simulator.step({"a": 0, "b": 1})
+        assert out["y"] == ZERO and out["yn"] == ONE
+
+    def test_x_propagates_through_and(self, tiny_netlist):
+        simulator = XSimulator(tiny_netlist)
+        out = simulator.step({"a": "x", "b": 1})
+        assert out["y"] == X and out["yn"] == X
+
+    def test_controlling_value_dominates_x(self, tiny_netlist):
+        """AND with a controlling 0 is 0 even when the other input
+        is X — exact 3-valued evaluation, not pessimism."""
+        simulator = XSimulator(tiny_netlist)
+        out = simulator.step({"a": "x", "b": 0})
+        assert out["y"] == ZERO and out["yn"] == ONE
+
+    def test_mux_select_x_with_equal_branches(self):
+        """mux(X, v, v) = v: the exact evaluator sees through the
+        unknown select when both branches agree."""
+        builder = CircuitBuilder("m")
+        a = builder.input("a")
+        select = builder.input("s")
+        builder.output(builder.mux(select, a, a), "y")
+        simulator = XSimulator(builder.netlist)
+        out = simulator.step({"a": 1, "s": "x"})
+        assert out["y"] == ONE
+
+    def test_flops_start_unknown(self):
+        netlist = Netlist("f")
+        a = netlist.add_input("a")
+        flop = netlist.add_gate("DFF", [a])
+        netlist.add_output(flop, "q")
+        simulator = XSimulator(netlist)
+        out = simulator.step({"a": 1})
+        assert out["q"] == X            # power-on state
+        out = simulator.step({"a": 1})
+        assert out["q"] == ONE          # captured known value
+
+    def test_reset_clears_x(self):
+        netlist = Netlist("f")
+        a = netlist.add_input("a")
+        reset = netlist.add_input("rst")
+        flop = netlist.add_gate("DFFR", [a, reset])
+        netlist.add_output(flop, "q")
+        simulator = XSimulator(netlist)
+        simulator.step({"a": "x", "rst": 1})
+        out = simulator.step({"a": 0, "rst": 0})
+        assert out["q"] == ZERO
+
+    def test_unknown_input_rejected(self, tiny_netlist):
+        simulator = XSimulator(tiny_netlist)
+        with pytest.raises(SimulationError):
+            simulator.step({"zz": 1})
+
+
+class TestResetAnalysis:
+    def test_control_state_initializes(self, all_designs):
+        """Every DFFR/one-hot FSM bit reaches a known value; only
+        enable-only data registers may stay X."""
+        for design in all_designs:
+            report = reset_analysis(design, settle_cycles=6)
+            stuck_control = [
+                name for name in report.unknown_flops
+                if not name.startswith("DFFE")
+            ]
+            assert stuck_control == [], design.name
+
+    def test_unknown_outputs_are_strobed_buses(self, all_designs):
+        """The post-reset X outputs are exactly the data buses the FI
+        policy already strobes (invalid until qualified by a valid)."""
+        from repro.fi.observation import DESIGN_OBSERVATION
+
+        for design in all_designs:
+            report = reset_analysis(design, settle_cycles=6)
+            strobed_prefixes = tuple(
+                DESIGN_OBSERVATION[design.name].strobes
+            )
+            for output in report.unknown_outputs:
+                assert output.startswith(strobed_prefixes), (
+                    design.name, output
+                )
+
+    def test_uart_with_idle_line(self):
+        uart = build_uart()
+        report = reset_analysis(uart, settle_cycles=6,
+                                idle_inputs={"rxd": 1})
+        control = [n for n in report.unknown_flops
+                   if not n.startswith("DFFE")]
+        assert control == []
+        # txd drives the idle-high line once control state is known.
+        assert "txd" not in report.unknown_outputs
+
+    def test_fully_resettable_design(self):
+        """A design whose every flop has a reset passes outright."""
+        from repro.circuits import up_counter
+
+        builder = CircuitBuilder("ctr")
+        reset = builder.input("rst")
+        ports = up_counter(builder, 4, reset)
+        builder.output_bus(ports.value, "q")
+        report = reset_analysis(builder.netlist, reset_input="rst")
+        assert report.resettable
+
+    def test_missing_reset_input(self, tiny_netlist):
+        with pytest.raises(SimulationError):
+            reset_analysis(tiny_netlist)
