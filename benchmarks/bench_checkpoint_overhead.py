@@ -1,0 +1,87 @@
+"""Resilience tax — campaign checkpoint overhead.
+
+The resilient runner durably writes one ``.npz`` per completed workload
+so a killed campaign resumes instead of restarting.  Durability is only
+free to adopt if the write path costs a small fraction of the
+simulation it protects; this benchmark measures, per design, the
+wall-clock of a plain campaign vs a checkpointed one vs a checkpoint
+resume (which skips all simulation), and the bytes a checkpoint store
+occupies on disk.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import DESIGNS
+from repro.fi import run_campaign
+from repro.reporting import render_table
+from repro.sim import design_workloads
+
+WORKLOADS = 8
+CYCLES = 150
+
+
+def test_checkpoint_overhead(benchmark, artifact, tmp_path_factory):
+    from repro import build_design
+
+    short = {"sdram_controller": "sdram", "or1200_if": "or1200_if",
+             "or1200_icfsm": "or1200_icfsm"}
+    rows = []
+
+    def run():
+        for design_name in DESIGNS:
+            design = build_design(short[design_name])
+            workloads = design_workloads(design.name, design,
+                                         count=WORKLOADS,
+                                         cycles=CYCLES, seed=0)
+            store = tmp_path_factory.mktemp(f"ckpt_{design_name}")
+
+            started = time.perf_counter()
+            plain = run_campaign(design, workloads)
+            plain_seconds = time.perf_counter() - started
+
+            started = time.perf_counter()
+            checkpointed = run_campaign(design, workloads,
+                                        checkpoint_dir=store)
+            checkpointed_seconds = time.perf_counter() - started
+
+            started = time.perf_counter()
+            resumed = run_campaign(design, workloads,
+                                   checkpoint_dir=store, resume=True)
+            resume_seconds = time.perf_counter() - started
+
+            assert np.array_equal(plain.error_cycles,
+                                  resumed.error_cycles)
+            store_bytes = sum(
+                path.stat().st_size for path in store.iterdir()
+            )
+            overhead = checkpointed_seconds / plain_seconds - 1.0
+            rows.append({
+                "design": design_name,
+                "plain s": round(plain_seconds, 2),
+                "checkpointed s": round(checkpointed_seconds, 2),
+                "overhead": f"{overhead:+.1%}",
+                "resume s": round(resume_seconds, 3),
+                "resume speedup": (
+                    f"{plain_seconds / resume_seconds:,.0f}x"
+                ),
+                "store KiB": round(store_bytes / 1024, 1),
+            })
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = render_table(
+        rows,
+        title="Campaign checkpoint overhead "
+              f"({WORKLOADS} workloads x {CYCLES} cycles, "
+              "full fault universe)",
+    )
+    artifact("checkpoint_overhead.txt", table)
+
+    # Shape: durability costs a small fraction of the simulation it
+    # protects, and resuming a finished campaign is pure I/O.
+    for row in rows:
+        assert row["checkpointed s"] < row["plain s"] * 1.5
+        assert row["resume s"] < row["plain s"]

@@ -77,10 +77,21 @@ def cmd_campaign(args) -> int:
     workloads = design_workloads(design.name, design,
                                  count=args.workloads,
                                  cycles=args.cycles, seed=args.seed)
-    campaign = run_campaign(design, workloads, collapse=args.collapse)
+    campaign = run_campaign(
+        design, workloads, collapse=args.collapse,
+        timeout=args.timeout, retries=args.retries,
+        checkpoint_dir=args.checkpoint_dir, resume=args.resume,
+    )
     experiments = len(campaign.faults) * campaign.n_workloads
     print(f"{experiments} fault-experiments in "
           f"{campaign.simulation_seconds:.1f}s")
+    if campaign.failures:
+        print(f"\nWARNING: {len(campaign.failures)} of "
+              f"{campaign.n_workloads} workloads never completed "
+              "(partial results):")
+        for failure in campaign.failures:
+            print(f"  {failure.workload}: {failure.status} after "
+                  f"{failure.attempts} attempt(s) — {failure.error}")
     print()
     print(format_report(
         campaign.workload_report(campaign.workload_names[0]), limit=8
@@ -94,7 +105,7 @@ def cmd_campaign(args) -> int:
 
         save_campaign(campaign, args.out)
         print(f"campaign written to {args.out}")
-    return 0
+    return 0 if not campaign.failures else 2
 
 
 def cmd_explain(args) -> int:
@@ -227,6 +238,21 @@ def main(argv=None) -> int:
                           help="collapse equivalent faults")
     campaign.add_argument("--out", metavar="FILE.npz",
                           help="persist the campaign result")
+    campaign.add_argument("--checkpoint-dir", metavar="DIR",
+                          help="durably checkpoint each completed "
+                               "workload to DIR")
+    campaign.add_argument("--resume", action="store_true",
+                          help="resume from completed workloads in "
+                               "--checkpoint-dir")
+    campaign.add_argument("--timeout", type=float, default=None,
+                          metavar="SECONDS",
+                          help="abandon a fault pass that runs longer "
+                               "than this")
+    campaign.add_argument("--retries", type=int, default=0,
+                          metavar="N",
+                          help="retries per workload after a failed or "
+                               "hung pass (exhaustion lands in the "
+                               "failure ledger)")
 
     explain = commands.add_parser("explain",
                                   help="per-node explanations")

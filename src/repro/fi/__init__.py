@@ -2,7 +2,13 @@
 runner (the Xcelium stand-in), per-workload reports, and Algorithm 1
 dataset generation."""
 
-from repro.fi.campaign import CampaignResult, run_campaign
+from repro.fi.campaign import (
+    CampaignResult,
+    WorkloadFailure,
+    run_campaign,
+)
+from repro.fi.runner import CampaignRunner, PassTimeout, RunnerPolicy
+from repro.fi.checkpoint import CheckpointStore, campaign_fingerprint
 from repro.fi.dataset import (
     DEFAULT_THRESHOLD,
     CriticalityDataset,
@@ -44,7 +50,13 @@ from repro.fi.report import (
 
 __all__ = [
     "CampaignResult",
+    "WorkloadFailure",
     "run_campaign",
+    "CampaignRunner",
+    "RunnerPolicy",
+    "PassTimeout",
+    "CheckpointStore",
+    "campaign_fingerprint",
     "DEFAULT_THRESHOLD",
     "CriticalityDataset",
     "dataset_from_campaign",

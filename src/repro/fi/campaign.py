@@ -17,21 +17,37 @@ state without ever reaching an output is *Latent*; everything else is
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.fi.faults import Fault, full_fault_universe
+from repro.fi.faults import Fault
 from repro.fi.report import FaultClass, FaultRecord, WorkloadReport
 from repro.netlist.netlist import Netlist
-from repro.sim.bitparallel import BitParallelSimulator
 from repro.sim.waveform import Workload
 from repro.utils.errors import SimulationError
 
 #: Default functional-error-rate threshold for the Dangerous class.
 DEFAULT_SEVERITY = 0.20
+
+
+@dataclass(frozen=True)
+class WorkloadFailure:
+    """One failure-ledger entry: a workload whose fault pass exhausted
+    its retries (or crashed with retries disabled).
+
+    The campaign still completes — the row for this workload stays at
+    its no-error initial state (zero error cycles, detection -1, not
+    latent) and is excluded from :attr:`CampaignResult.completed_mask`.
+    """
+
+    workload: str
+    #: ``"error"`` (the pass raised) or ``"timeout"`` (the pass hung).
+    status: str
+    attempts: int
+    elapsed_seconds: float
+    error: str
 
 
 @dataclass
@@ -53,10 +69,26 @@ class CampaignResult:
     severity: float = DEFAULT_SEVERITY
     #: wall-clock seconds spent simulating (for the cost benchmarks)
     simulation_seconds: float = 0.0
+    #: workloads whose pass never completed (graceful degradation)
+    failures: List[WorkloadFailure] = field(default_factory=list)
 
     @property
     def n_workloads(self) -> int:
         return len(self.workload_names)
+
+    @property
+    def complete(self) -> bool:
+        """True when every workload's fault pass finished."""
+        return not self.failures
+
+    @property
+    def completed_mask(self) -> np.ndarray:
+        """Bool (n_workloads,): workloads with real simulation results."""
+        failed = {failure.workload for failure in self.failures}
+        return np.array(
+            [name not in failed for name in self.workload_names],
+            dtype=bool,
+        )
 
     @property
     def error_rate(self) -> np.ndarray:
@@ -164,8 +196,20 @@ def run_campaign(
     observation="auto",
     severity="auto",
     collapse: bool = False,
+    *,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    backoff=None,
+    checkpoint_dir=None,
+    resume: bool = False,
 ) -> CampaignResult:
     """Run the full fault-injection campaign.
+
+    Execution is delegated to :class:`repro.fi.runner.CampaignRunner`,
+    which supervises each workload's fault pass as an independent unit
+    of work.  With the default policy (no timeout, no retries, no
+    checkpointing) the behaviour — and the result, bit for bit — is
+    that of a plain loop over the workloads.
 
     Args:
         netlist: Design under test.
@@ -183,77 +227,39 @@ def run_campaign(
             fault-equivalence class and expand the results — same
             observable outcome, fewer machines (see
             :mod:`repro.fi.collapse`).
+        timeout: Seconds allowed per fault-pass attempt; ``None``
+            (default) never times out.
+        retries: Extra attempts per workload after a failed or hung
+            pass; a workload that exhausts them lands in the result's
+            failure ledger instead of aborting the campaign.
+        backoff: :class:`~repro.utils.retry.BackoffPolicy` between
+            attempts (default: jittered exponential).
+        checkpoint_dir: Directory for durable per-workload checkpoints;
+            ``None`` disables checkpointing.
+        resume: Load completed workloads from ``checkpoint_dir``
+            instead of re-simulating them.
 
     Returns:
-        A :class:`CampaignResult` with per-(workload, fault) outcomes.
+        A :class:`CampaignResult` with per-(workload, fault) outcomes
+        and a :attr:`~CampaignResult.failures` ledger for workloads
+        that never completed.
     """
-    from repro.fi.collapse import collapse_faults, expand_results
-    from repro.fi.observation import (
-        ObservationSpec,
-        observation_for,
-        severity_for,
+    from repro.fi.runner import CampaignRunner, RunnerPolicy
+
+    policy = RunnerPolicy(
+        timeout=timeout,
+        retries=retries,
+        backoff=backoff,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
     )
-
-    if not workloads:
-        raise SimulationError("campaign needs at least one workload")
-    if severity == "auto":
-        severity = severity_for(netlist, DEFAULT_SEVERITY)
-    if not 0.0 <= severity <= 1.0:
-        raise SimulationError(f"severity {severity} outside [0, 1]")
-    fault_list = list(faults) if faults is not None else (
-        full_fault_universe(netlist)
-    )
-    if not fault_list:
-        raise SimulationError("campaign needs at least one fault")
-
-    if observation == "auto":
-        observation = observation_for(netlist)
-    compiled = (
-        observation.compile(netlist)
-        if isinstance(observation, ObservationSpec) else None
-    )
-
-    universe = collapse_faults(netlist, fault_list) if collapse else None
-    simulated = (
-        universe.representatives if universe is not None else fault_list
-    )
-
-    engine = BitParallelSimulator(netlist)
-    fault_nets = np.array([fault.net_index for fault in simulated],
-                          dtype=np.intp)
-    fault_values = np.array([fault.stuck_at for fault in simulated],
-                            dtype=np.uint8)
-
-    n_workloads = len(workloads)
-    error_cycles = np.zeros((n_workloads, len(simulated)), dtype=np.int64)
-    detection = np.full((n_workloads, len(simulated)), -1, dtype=np.int64)
-    latent = np.zeros((n_workloads, len(simulated)), dtype=bool)
-
-    started = time.perf_counter()
-    for row, workload in enumerate(workloads):
-        row_errors, row_detection, row_latent = engine.run_fault_pass(
-            workload, fault_nets, fault_values, observation=compiled
-        )
-        error_cycles[row] = row_errors
-        detection[row] = row_detection
-        latent[row] = row_latent
-    elapsed = time.perf_counter() - started
-
-    if universe is not None:
-        error_cycles = expand_results(universe, error_cycles)
-        detection = expand_results(universe, detection)
-        latent = expand_results(universe, latent)
-
-    return CampaignResult(
-        netlist_name=netlist.name,
-        faults=fault_list,
-        workload_names=[workload.name for workload in workloads],
-        workload_cycles=np.array(
-            [workload.cycles for workload in workloads], dtype=np.int64
-        ),
-        error_cycles=error_cycles,
-        detection_cycle=detection,
-        latent=latent,
+    runner = CampaignRunner(
+        netlist,
+        workloads,
+        faults=faults,
+        observation=observation,
         severity=severity,
-        simulation_seconds=elapsed,
+        collapse=collapse,
+        policy=policy,
     )
+    return runner.run()

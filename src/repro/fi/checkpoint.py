@@ -1,0 +1,220 @@
+"""Durable per-workload checkpointing for fault-injection campaigns.
+
+A checkpoint store is a directory holding one ``manifest.json``
+describing the campaign configuration plus one ``workload_NNNN.npz``
+per *completed* workload pass.  Completion is defined by the atomic
+rename in :func:`repro.io.save_workload_checkpoint`: a workload file
+either exists in full or not at all, so a campaign killed at any
+instant — including mid-write — resumes cleanly from the last whole
+workload.
+
+The manifest and every workload file carry a *fingerprint* of the
+campaign configuration (netlist, fault universe, workload stimulus
+bytes, severity/observation policy, collapse flag).  Resuming against a
+store written for any other configuration raises
+:class:`~repro.utils.errors.CampaignError` — silently mixing rows from
+two different campaigns would corrupt the ground-truth labels the whole
+pipeline trains on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.fi.faults import Fault
+from repro.sim.waveform import Workload
+from repro.utils.errors import CampaignError, SerializationError
+
+PathLike = Union[str, Path]
+
+MANIFEST_NAME = "manifest.json"
+#: Manifest format version (independent of the workload-file version).
+MANIFEST_VERSION = 1
+
+
+def campaign_fingerprint(
+    netlist_name: str,
+    workloads: Sequence[Workload],
+    faults: Sequence[Fault],
+    severity: float,
+    collapse: bool,
+    observation_key: str,
+) -> str:
+    """Deterministic digest of everything that shapes campaign output.
+
+    Workloads hash their stimulus *bytes*, not just their names: two
+    suites generated with different seeds share names but produce
+    different ground truth, and resuming across them must be refused.
+    """
+    digest = hashlib.sha256()
+    header = {
+        "netlist": netlist_name,
+        "severity": float(severity),
+        "collapse": bool(collapse),
+        "observation": observation_key,
+        "faults": [
+            (fault.node_name, int(fault.gate_index),
+             int(fault.net_index),
+             int(getattr(fault, "stuck_at", -1)),
+             int(getattr(fault, "cycle", -1)))
+            for fault in faults
+        ],
+        "workloads": [
+            (workload.name, workload.cycles) for workload in workloads
+        ],
+    }
+    digest.update(json.dumps(header, sort_keys=True).encode("utf-8"))
+    for workload in workloads:
+        digest.update(np.ascontiguousarray(workload.vectors).tobytes())
+    return digest.hexdigest()
+
+
+class CheckpointStore:
+    """Directory-backed checkpoint store for one campaign run."""
+
+    def __init__(self, directory: PathLike, *, fingerprint: str,
+                 netlist_name: str, workload_names: Sequence[str],
+                 n_faults: int) -> None:
+        self.directory = Path(directory)
+        self.fingerprint = fingerprint
+        self.netlist_name = netlist_name
+        self.workload_names = list(workload_names)
+        self.n_faults = n_faults
+
+    # -- paths ---------------------------------------------------------
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / MANIFEST_NAME
+
+    def workload_path(self, index: int) -> Path:
+        return self.directory / f"workload_{index:04d}.npz"
+
+    # -- lifecycle -----------------------------------------------------
+    def open(self, resume: bool) -> Dict[int, dict]:
+        """Prepare the store; return already-completed rows.
+
+        Fresh runs (``resume=False``) require the directory to hold no
+        prior manifest — refusing to clobber an existing campaign's
+        checkpoints is cheaper than diagnosing a half-mixed result.
+        Resumed runs validate the manifest against the current campaign
+        and load every intact workload file (a corrupt workload file
+        fails loudly rather than being re-simulated behind the
+        operator's back).
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if self.manifest_path.exists():
+            if not resume:
+                raise CampaignError(
+                    f"checkpoint directory {self.directory} already "
+                    "holds a campaign manifest — resume it, or point "
+                    "at an empty directory"
+                )
+            self._validate_manifest()
+            return self._load_completed()
+        if resume:
+            raise CampaignError(
+                f"nothing to resume: {self.directory} has no "
+                f"{MANIFEST_NAME}"
+            )
+        self._write_manifest()
+        return {}
+
+    def record(self, index: int, *, error_cycles: np.ndarray,
+               detection_cycle: np.ndarray, latent: np.ndarray,
+               elapsed_seconds: float) -> None:
+        """Durably persist one completed workload pass."""
+        from repro.io import save_workload_checkpoint
+
+        save_workload_checkpoint(
+            self.workload_path(index),
+            fingerprint=self.fingerprint,
+            workload_index=index,
+            error_cycles=error_cycles,
+            detection_cycle=detection_cycle,
+            latent=latent,
+            elapsed_seconds=elapsed_seconds,
+        )
+
+    # -- internals -----------------------------------------------------
+    def _write_manifest(self) -> None:
+        payload = {
+            "version": MANIFEST_VERSION,
+            "fingerprint": self.fingerprint,
+            "netlist_name": self.netlist_name,
+            "workload_names": self.workload_names,
+            "n_faults": self.n_faults,
+        }
+        temporary = self.manifest_path.with_suffix(".json.tmp")
+        temporary.write_text(json.dumps(payload, indent=1),
+                             encoding="utf-8")
+        temporary.replace(self.manifest_path)
+
+    def _validate_manifest(self) -> None:
+        try:
+            manifest = json.loads(
+                self.manifest_path.read_text(encoding="utf-8")
+            )
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise CampaignError(
+                f"checkpoint manifest {self.manifest_path} is corrupt: "
+                f"{error}"
+            ) from error
+        if manifest.get("version") != MANIFEST_VERSION:
+            raise CampaignError(
+                f"checkpoint manifest {self.manifest_path}: version "
+                f"{manifest.get('version')} (this build reads "
+                f"{MANIFEST_VERSION})"
+            )
+        if manifest.get("fingerprint") != self.fingerprint:
+            raise CampaignError(
+                f"checkpoint directory {self.directory} belongs to a "
+                "different campaign (netlist, faults, workloads, or "
+                "policy changed) — cannot resume"
+            )
+
+    def _load_completed(self) -> Dict[int, dict]:
+        from repro.io import load_workload_checkpoint
+
+        completed: Dict[int, dict] = {}
+        for index in range(len(self.workload_names)):
+            path = self.workload_path(index)
+            if not path.exists():
+                continue
+            try:
+                completed[index] = load_workload_checkpoint(
+                    path,
+                    fingerprint=self.fingerprint,
+                    workload_index=index,
+                    n_faults=self.n_faults,
+                )
+            except SerializationError as error:
+                raise CampaignError(
+                    f"cannot resume: workload checkpoint {path} failed "
+                    f"validation ({error}); delete it to re-simulate "
+                    "that workload"
+                ) from error
+        return completed
+
+    def completed_indices(self) -> List[int]:
+        """Indices with an intact checkpoint file on disk."""
+        return sorted(
+            index for index in range(len(self.workload_names))
+            if self.workload_path(index).exists()
+        )
+
+
+def observation_key(observation: Optional[object]) -> str:
+    """Stable fingerprint component for an observation policy."""
+    if observation is None:
+        return "all-outputs"
+    strobes = getattr(observation, "strobes", None)
+    if strobes is not None:
+        return json.dumps(sorted(
+            (target, list(strobe)) for target, strobe in strobes.items()
+        ))
+    return repr(observation)

@@ -1,0 +1,327 @@
+"""Resilient campaign execution: supervision, retry, checkpoint/resume.
+
+The FI campaign is the expensive, ground-truth-generating stage of the
+whole pipeline, so its runner must survive faults in the *harness* as
+well as inject them into the DUT.  :class:`CampaignRunner` executes
+each workload's fault pass as an independent, supervised unit of work:
+
+* **Timeout** — a pass that hangs past ``policy.timeout`` seconds is
+  abandoned (the worker thread is orphaned; a fresh engine is built for
+  the next attempt so a zombie pass can never corrupt a retry).
+* **Retry with backoff** — failed or hung passes are retried up to
+  ``policy.retries`` times with jittered exponential backoff
+  (:class:`~repro.utils.retry.BackoffPolicy`).
+* **Checkpointing** — with ``policy.checkpoint_dir`` set, every
+  completed workload is durably written to disk (atomic rename), and
+  ``policy.resume=True`` reloads completed rows instead of
+  re-simulating them: a campaign killed with SIGKILL at workload 15/16
+  resumes from workload 16 and produces a result identical to an
+  uninterrupted run.
+* **Graceful degradation** — a workload that exhausts its retries is
+  recorded in the result's failure ledger
+  (:class:`~repro.fi.campaign.WorkloadFailure`); the campaign completes
+  with partial results instead of discarding the other workloads.
+
+Kills stay kills: ``KeyboardInterrupt``/``SystemExit`` always
+propagate, leaving the checkpoint store intact for a later resume.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.fi.campaign import (
+    DEFAULT_SEVERITY,
+    CampaignResult,
+    WorkloadFailure,
+)
+from repro.fi.checkpoint import (
+    CheckpointStore,
+    campaign_fingerprint,
+    observation_key,
+)
+from repro.fi.faults import Fault, full_fault_universe
+from repro.netlist.netlist import Netlist
+from repro.sim.bitparallel import BitParallelSimulator
+from repro.sim.waveform import Workload
+from repro.utils.errors import CampaignError, SimulationError
+from repro.utils.retry import BackoffPolicy, retry_call
+
+
+class PassTimeout(CampaignError):
+    """A workload's fault pass exceeded the runner's timeout."""
+
+
+@dataclass(frozen=True)
+class RunnerPolicy:
+    """Resilience knobs for one campaign run.
+
+    The default policy (no timeout, no retries, no checkpointing) makes
+    the runner behave exactly like a plain loop over the workloads.
+    """
+
+    timeout: Optional[float] = None
+    retries: int = 0
+    backoff: Optional[BackoffPolicy] = None
+    checkpoint_dir: Optional[Union[str, Path]] = None
+    resume: bool = False
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise CampaignError(
+                f"timeout {self.timeout} must be positive"
+            )
+        if self.retries < 0:
+            raise CampaignError(f"retries {self.retries} must be >= 0")
+        if self.resume and self.checkpoint_dir is None:
+            raise CampaignError(
+                "resume requires a checkpoint directory"
+            )
+
+
+class CampaignRunner:
+    """Supervised executor for one fault-injection campaign.
+
+    Construction performs every pre-flight check (workload and fault
+    universe validation, policy resolution, observation compilation,
+    fault collapsing) so misconfiguration fails before any simulation
+    or checkpoint I/O happens.  :meth:`run` then executes the workload
+    passes under the resilience policy and assembles the
+    :class:`~repro.fi.campaign.CampaignResult`.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        workloads: Sequence[Workload],
+        faults: Optional[Sequence[Fault]] = None,
+        observation="auto",
+        severity="auto",
+        collapse: bool = False,
+        policy: Optional[RunnerPolicy] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        from repro.fi.collapse import collapse_faults
+        from repro.fi.observation import (
+            ObservationSpec,
+            observation_for,
+            severity_for,
+        )
+
+        if not workloads:
+            raise SimulationError(
+                "campaign needs at least one workload"
+            )
+        names = [workload.name for workload in workloads]
+        duplicates = sorted({
+            name for name in names if names.count(name) > 1
+        })
+        if duplicates:
+            raise SimulationError(
+                "duplicate workload names shadow each other in "
+                f"per-workload reports: {', '.join(duplicates)}"
+            )
+        empty = [w.name for w in workloads if w.cycles == 0]
+        if empty:
+            raise SimulationError(
+                "zero-cycle workloads have no error rate: "
+                + ", ".join(empty)
+            )
+        if severity == "auto":
+            severity = severity_for(netlist, DEFAULT_SEVERITY)
+        if not 0.0 <= severity <= 1.0:
+            raise SimulationError(
+                f"severity {severity} outside [0, 1]"
+            )
+        fault_list = list(faults) if faults is not None else (
+            full_fault_universe(netlist)
+        )
+        if not fault_list:
+            raise SimulationError("campaign needs at least one fault")
+
+        if observation == "auto":
+            observation = observation_for(netlist)
+        self._observation_key = observation_key(observation)
+        self._compiled = (
+            observation.compile(netlist)
+            if isinstance(observation, ObservationSpec) else None
+        )
+
+        self.netlist = netlist
+        self.workloads = list(workloads)
+        self.faults = fault_list
+        self.severity = float(severity)
+        self.collapse = collapse
+        self.policy = policy or RunnerPolicy()
+        self._sleep = sleep
+
+        self._universe = (
+            collapse_faults(netlist, fault_list) if collapse else None
+        )
+        self._simulated = (
+            self._universe.representatives
+            if self._universe is not None else fault_list
+        )
+        self._fault_nets = np.array(
+            [fault.net_index for fault in self._simulated],
+            dtype=np.intp,
+        )
+        self._fault_values = np.array(
+            [fault.stuck_at for fault in self._simulated],
+            dtype=np.uint8,
+        )
+        self._engine: Optional[BitParallelSimulator] = None
+
+    # -- execution -----------------------------------------------------
+    def run(self) -> CampaignResult:
+        """Execute the campaign under the resilience policy."""
+        from repro.fi.collapse import expand_results
+
+        store = self._open_store()
+        completed: Dict[int, dict] = (
+            store.open(self.policy.resume) if store is not None else {}
+        )
+
+        n_workloads = len(self.workloads)
+        n_simulated = len(self._simulated)
+        error_cycles = np.zeros((n_workloads, n_simulated),
+                                dtype=np.int64)
+        detection = np.full((n_workloads, n_simulated), -1,
+                            dtype=np.int64)
+        latent = np.zeros((n_workloads, n_simulated), dtype=bool)
+        failures: List[WorkloadFailure] = []
+        total_elapsed = 0.0
+
+        for row, workload in enumerate(self.workloads):
+            if row in completed:
+                checkpoint = completed[row]
+                error_cycles[row] = checkpoint["error_cycles"]
+                detection[row] = checkpoint["detection_cycle"]
+                latent[row] = checkpoint["latent"]
+                total_elapsed += checkpoint["elapsed_seconds"]
+                continue
+
+            started = time.perf_counter()
+            value, outcome = retry_call(
+                lambda workload=workload: self._attempt(workload),
+                retries=self.policy.retries,
+                backoff=self.policy.backoff or BackoffPolicy(),
+                sleep=self._sleep,
+            )
+            elapsed = time.perf_counter() - started
+            total_elapsed += elapsed
+
+            if not outcome.succeeded:
+                failures.append(WorkloadFailure(
+                    workload=workload.name,
+                    status=(
+                        "timeout"
+                        if isinstance(outcome.error, PassTimeout)
+                        else "error"
+                    ),
+                    attempts=outcome.attempts,
+                    elapsed_seconds=elapsed,
+                    error=str(outcome.error),
+                ))
+                continue
+
+            row_errors, row_detection, row_latent = value
+            error_cycles[row] = row_errors
+            detection[row] = row_detection
+            latent[row] = row_latent
+            if store is not None:
+                store.record(
+                    row,
+                    error_cycles=error_cycles[row],
+                    detection_cycle=detection[row],
+                    latent=latent[row],
+                    elapsed_seconds=elapsed,
+                )
+
+        if self._universe is not None:
+            error_cycles = expand_results(self._universe, error_cycles)
+            detection = expand_results(self._universe, detection)
+            latent = expand_results(self._universe, latent)
+
+        return CampaignResult(
+            netlist_name=self.netlist.name,
+            faults=self.faults,
+            workload_names=[w.name for w in self.workloads],
+            workload_cycles=np.array(
+                [w.cycles for w in self.workloads], dtype=np.int64
+            ),
+            error_cycles=error_cycles,
+            detection_cycle=detection,
+            latent=latent,
+            severity=self.severity,
+            simulation_seconds=total_elapsed,
+            failures=failures,
+        )
+
+    # -- internals -----------------------------------------------------
+    def _open_store(self) -> Optional[CheckpointStore]:
+        if self.policy.checkpoint_dir is None:
+            return None
+        fingerprint = campaign_fingerprint(
+            self.netlist.name,
+            self.workloads,
+            self._simulated,
+            self.severity,
+            self.collapse,
+            self._observation_key,
+        )
+        return CheckpointStore(
+            self.policy.checkpoint_dir,
+            fingerprint=fingerprint,
+            netlist_name=self.netlist.name,
+            workload_names=[w.name for w in self.workloads],
+            n_faults=len(self._simulated),
+        )
+
+    def _attempt(self, workload: Workload):
+        """One supervised fault-pass attempt for one workload."""
+        if self.policy.timeout is None:
+            return self._pass(workload, self._shared_engine())
+        # A timed-out pass leaves its worker thread running; never hand
+        # that zombie's engine to a retry — build a fresh one per try.
+        box: dict = {}
+
+        def target() -> None:
+            try:
+                box["value"] = self._pass(
+                    workload, BitParallelSimulator(self.netlist)
+                )
+            except BaseException as error:  # noqa: BLE001 — relayed
+                box["error"] = error
+
+        worker = threading.Thread(
+            target=target, daemon=True,
+            name=f"fi-pass-{workload.name}",
+        )
+        worker.start()
+        worker.join(self.policy.timeout)
+        if worker.is_alive():
+            raise PassTimeout(
+                f"workload {workload.name!r}: fault pass still "
+                f"running after {self.policy.timeout}s"
+            )
+        if "error" in box:
+            raise box["error"]
+        return box["value"]
+
+    def _pass(self, workload: Workload, engine: BitParallelSimulator):
+        return engine.run_fault_pass(
+            workload, self._fault_nets, self._fault_values,
+            observation=self._compiled,
+        )
+
+    def _shared_engine(self) -> BitParallelSimulator:
+        if self._engine is None:
+            self._engine = BitParallelSimulator(self.netlist)
+        return self._engine

@@ -15,16 +15,72 @@ from typing import Optional, Union
 
 import numpy as np
 
-from repro.fi.campaign import CampaignResult
+from repro.fi.campaign import CampaignResult, WorkloadFailure
 from repro.fi.dataset import CriticalityDataset
 from repro.fi.faults import Fault
 from repro.fi.transient import TransientFault
 from repro.graph.data import GraphData
 from repro.graph.split import Split
 from repro.models.gcn import GCNClassifier, GCNRegressor
-from repro.utils.errors import ReproError
+from repro.utils.errors import ReproError, SerializationError
 
 PathLike = Union[str, Path]
+
+#: Format version for workload checkpoints (bump on layout changes).
+CHECKPOINT_VERSION = 1
+
+
+def _open_npz(path: PathLike, kind: str):
+    """``np.load`` with corrupt/truncated files mapped to a typed error."""
+    try:
+        return np.load(path)
+    except FileNotFoundError:
+        raise
+    except Exception as error:
+        raise SerializationError(
+            f"{kind} archive {path} is corrupt or not an .npz file: "
+            f"{error}"
+        ) from error
+
+
+def _archive_array(archive, key: str, path: PathLike, kind: str,
+                   dtype_kind: str) -> np.ndarray:
+    """Fetch a required array, checking presence and dtype family."""
+    if key not in archive.files:
+        raise SerializationError(
+            f"{kind} archive {path} is missing array {key!r} "
+            "(truncated or written by an incompatible version?)"
+        )
+    array = archive[key]
+    if array.dtype.kind not in dtype_kind:
+        raise SerializationError(
+            f"{kind} archive {path}: array {key!r} has dtype "
+            f"{array.dtype}, expected kind {dtype_kind!r}"
+        )
+    return array
+
+
+def _archive_metadata(archive, path: PathLike, kind: str,
+                      required: tuple) -> dict:
+    """Decode and sanity-check the JSON metadata blob."""
+    if "metadata" not in archive.files:
+        raise SerializationError(
+            f"{kind} archive {path} has no metadata block"
+        )
+    try:
+        metadata = json.loads(bytes(archive["metadata"]).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise SerializationError(
+            f"{kind} archive {path}: metadata is not valid JSON "
+            f"({error})"
+        ) from error
+    missing = [key for key in required if key not in metadata]
+    if missing:
+        raise SerializationError(
+            f"{kind} archive {path}: metadata is missing "
+            f"{', '.join(missing)}"
+        )
+    return metadata
 
 
 # ----------------------------------------------------------------------
@@ -41,6 +97,13 @@ def save_campaign(campaign: CampaignResult, path: PathLike) -> None:
         "simulation_seconds": campaign.simulation_seconds,
         "fault_kind": kind,
         "fault_node_names": [fault.node_name for fault in campaign.faults],
+        "failures": [
+            {"workload": failure.workload, "status": failure.status,
+             "attempts": failure.attempts,
+             "elapsed_seconds": failure.elapsed_seconds,
+             "error": failure.error}
+            for failure in campaign.failures
+        ],
     }
     extra = {}
     if kind == "stuck-at":
@@ -73,39 +136,207 @@ def save_campaign(campaign: CampaignResult, path: PathLike) -> None:
 
 
 def load_campaign(path: PathLike) -> CampaignResult:
-    """Read a campaign result written by :func:`save_campaign`."""
-    with np.load(path) as archive:
-        metadata = json.loads(bytes(archive["metadata"]).decode("utf-8"))
-        gate_index = archive["fault_gate_index"]
-        net_index = archive["fault_net_index"]
+    """Read a campaign result written by :func:`save_campaign`.
+
+    The archive is validated before a :class:`CampaignResult` is built:
+    required arrays and metadata keys must be present, matrices must
+    agree with the fault list and workload list on shape, and dtypes
+    must be of the expected families — a corrupt, truncated, or
+    hand-edited archive raises :class:`SerializationError` instead of
+    leaking a numpy/zipfile internal error.
+    """
+    with _open_npz(path, "campaign") as archive:
+        metadata = _archive_metadata(
+            archive, path, "campaign",
+            required=("netlist_name", "workload_names", "severity",
+                      "simulation_seconds", "fault_kind",
+                      "fault_node_names"),
+        )
+        gate_index = _archive_array(archive, "fault_gate_index", path,
+                                    "campaign", "iu")
+        net_index = _archive_array(archive, "fault_net_index", path,
+                                   "campaign", "iu")
         node_names = metadata["fault_node_names"]
+        n_faults = len(node_names)
+        if len(gate_index) != n_faults or len(net_index) != n_faults:
+            raise SerializationError(
+                f"campaign archive {path}: fault index arrays "
+                f"({len(gate_index)}, {len(net_index)}) disagree with "
+                f"{n_faults} fault node names"
+            )
         if metadata["fault_kind"] == "stuck-at":
-            values = archive["fault_values"]
+            values = _archive_array(archive, "fault_values", path,
+                                    "campaign", "iu")
+            if len(values) != n_faults:
+                raise SerializationError(
+                    f"campaign archive {path}: {len(values)} stuck-at "
+                    f"values vs {n_faults} faults"
+                )
             faults = [
                 Fault(gate_index=int(g), net_index=int(n),
                       node_name=name, stuck_at=int(v))
                 for g, n, name, v in zip(gate_index, net_index,
                                          node_names, values)
             ]
-        else:
-            cycles = archive["fault_injection_cycles"]
+        elif metadata["fault_kind"] == "transient":
+            cycles = _archive_array(archive, "fault_injection_cycles",
+                                    path, "campaign", "iu")
+            if len(cycles) != n_faults:
+                raise SerializationError(
+                    f"campaign archive {path}: {len(cycles)} injection "
+                    f"cycles vs {n_faults} faults"
+                )
             faults = [
                 TransientFault(gate_index=int(g), net_index=int(n),
                                node_name=name, cycle=int(c))
                 for g, n, name, c in zip(gate_index, net_index,
                                          node_names, cycles)
             ]
+        else:
+            raise SerializationError(
+                f"campaign archive {path}: unknown fault kind "
+                f"{metadata['fault_kind']!r}"
+            )
+        workload_names = list(metadata["workload_names"])
+        workload_cycles = _archive_array(archive, "workload_cycles",
+                                         path, "campaign", "iu")
+        error_cycles = _archive_array(archive, "error_cycles", path,
+                                      "campaign", "iu")
+        detection_cycle = _archive_array(archive, "detection_cycle",
+                                         path, "campaign", "iu")
+        latent = _archive_array(archive, "latent", path, "campaign",
+                                "b")
+        expected = (len(workload_names), n_faults)
+        for key, array in (("error_cycles", error_cycles),
+                           ("detection_cycle", detection_cycle),
+                           ("latent", latent)):
+            if array.shape != expected:
+                raise SerializationError(
+                    f"campaign archive {path}: {key} has shape "
+                    f"{array.shape}, expected {expected}"
+                )
+        if workload_cycles.shape != (len(workload_names),):
+            raise SerializationError(
+                f"campaign archive {path}: workload_cycles has shape "
+                f"{workload_cycles.shape} for {len(workload_names)} "
+                "workloads"
+            )
         return CampaignResult(
             netlist_name=metadata["netlist_name"],
             faults=faults,
-            workload_names=list(metadata["workload_names"]),
-            workload_cycles=archive["workload_cycles"],
-            error_cycles=archive["error_cycles"],
-            detection_cycle=archive["detection_cycle"],
-            latent=archive["latent"],
+            workload_names=workload_names,
+            workload_cycles=workload_cycles,
+            error_cycles=error_cycles,
+            detection_cycle=detection_cycle,
+            latent=latent,
             severity=float(metadata["severity"]),
             simulation_seconds=float(metadata["simulation_seconds"]),
+            failures=[
+                WorkloadFailure(
+                    workload=entry["workload"],
+                    status=entry["status"],
+                    attempts=int(entry["attempts"]),
+                    elapsed_seconds=float(entry["elapsed_seconds"]),
+                    error=entry["error"],
+                )
+                for entry in metadata.get("failures", ())
+            ],
         )
+
+
+# ----------------------------------------------------------------------
+# workload checkpoints (resilient campaign runner)
+# ----------------------------------------------------------------------
+def save_workload_checkpoint(
+    path: PathLike,
+    *,
+    fingerprint: str,
+    workload_index: int,
+    error_cycles: np.ndarray,
+    detection_cycle: np.ndarray,
+    latent: np.ndarray,
+    elapsed_seconds: float,
+) -> None:
+    """Write one workload's completed fault pass to an ``.npz``.
+
+    The write is atomic (temp file + rename) so a kill mid-write never
+    leaves a half-checkpoint that a later ``--resume`` would trust.
+    """
+    path = Path(path)
+    metadata = {
+        "version": CHECKPOINT_VERSION,
+        "fingerprint": fingerprint,
+        "workload_index": workload_index,
+        "elapsed_seconds": float(elapsed_seconds),
+    }
+    temporary = path.with_name(path.name + ".tmp")
+    with open(temporary, "wb") as handle:
+        np.savez_compressed(
+            handle,
+            metadata=np.frombuffer(
+                json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+            ),
+            error_cycles=np.asarray(error_cycles, dtype=np.int64),
+            detection_cycle=np.asarray(detection_cycle,
+                                       dtype=np.int64),
+            latent=np.asarray(latent, dtype=bool),
+        )
+    temporary.replace(path)
+
+
+def load_workload_checkpoint(
+    path: PathLike,
+    *,
+    fingerprint: str,
+    workload_index: int,
+    n_faults: int,
+) -> dict:
+    """Read and validate one workload checkpoint.
+
+    Raises :class:`SerializationError` when the file is corrupt, from
+    an incompatible checkpoint format version, written for a different
+    campaign (fingerprint mismatch), or carries arrays of the wrong
+    shape — resuming silently from any of those would corrupt the
+    campaign result.
+    """
+    with _open_npz(path, "checkpoint") as archive:
+        metadata = _archive_metadata(
+            archive, path, "checkpoint",
+            required=("version", "fingerprint", "workload_index",
+                      "elapsed_seconds"),
+        )
+        if metadata["version"] != CHECKPOINT_VERSION:
+            raise SerializationError(
+                f"checkpoint {path}: format version "
+                f"{metadata['version']} (this build reads "
+                f"{CHECKPOINT_VERSION})"
+            )
+        if metadata["fingerprint"] != fingerprint:
+            raise SerializationError(
+                f"checkpoint {path} was written for a different "
+                "campaign configuration (fingerprint mismatch) — "
+                "pass a fresh --checkpoint-dir or drop --resume"
+            )
+        if int(metadata["workload_index"]) != workload_index:
+            raise SerializationError(
+                f"checkpoint {path}: stored workload index "
+                f"{metadata['workload_index']}, expected "
+                f"{workload_index}"
+            )
+        arrays = {}
+        for key, dtype_kind in (("error_cycles", "iu"),
+                                ("detection_cycle", "iu"),
+                                ("latent", "b")):
+            array = _archive_array(archive, key, path, "checkpoint",
+                                   dtype_kind)
+            if array.shape != (n_faults,):
+                raise SerializationError(
+                    f"checkpoint {path}: {key} has shape "
+                    f"{array.shape}, expected ({n_faults},)"
+                )
+            arrays[key] = array
+        arrays["elapsed_seconds"] = float(metadata["elapsed_seconds"])
+        return arrays
 
 
 # ----------------------------------------------------------------------
@@ -135,9 +366,42 @@ def save_dataset(dataset: CriticalityDataset, path: PathLike) -> None:
 
 
 def load_dataset(path: PathLike) -> CriticalityDataset:
-    """Read a dataset written by :func:`save_dataset`."""
-    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    """Read a dataset written by :func:`save_dataset`.
+
+    Corrupt JSON, missing keys, or malformed node rows raise
+    :class:`SerializationError` with the offending detail rather than a
+    bare ``KeyError``/``JSONDecodeError``.
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise SerializationError(
+            f"dataset file {path} is not valid JSON: {error}"
+        ) from error
+    if not isinstance(payload, dict):
+        raise SerializationError(
+            f"dataset file {path}: top level must be an object, got "
+            f"{type(payload).__name__}"
+        )
+    missing = [key for key in ("design", "threshold", "n_workloads",
+                               "nodes") if key not in payload]
+    if missing:
+        raise SerializationError(
+            f"dataset file {path} is missing {', '.join(missing)}"
+        )
     nodes = payload["nodes"]
+    if not isinstance(nodes, list):
+        raise SerializationError(
+            f"dataset file {path}: 'nodes' must be a list"
+        )
+    for index, node in enumerate(nodes):
+        if not isinstance(node, dict) or not {
+            "name", "score", "label"
+        } <= node.keys():
+            raise SerializationError(
+                f"dataset file {path}: node row {index} must carry "
+                "name/score/label"
+            )
     trial_values = [node.get("trials") for node in nodes]
     trials = (
         np.array(trial_values)

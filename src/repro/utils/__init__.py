@@ -1,16 +1,30 @@
-"""Shared utilities: seeded RNG helpers, timing, and error types."""
+"""Shared utilities: seeded RNG helpers, timing, retry/backoff, and
+error types."""
 
 from repro.utils.rng import SeedSequence, derive_rng, rng_from_seed
 from repro.utils.timing import Stopwatch
-from repro.utils.errors import ReproError, NetlistError, SimulationError, ModelError
+from repro.utils.retry import BackoffPolicy, RetryOutcome, retry_call
+from repro.utils.errors import (
+    CampaignError,
+    ModelError,
+    NetlistError,
+    ReproError,
+    SerializationError,
+    SimulationError,
+)
 
 __all__ = [
     "SeedSequence",
     "derive_rng",
     "rng_from_seed",
     "Stopwatch",
+    "BackoffPolicy",
+    "RetryOutcome",
+    "retry_call",
     "ReproError",
     "NetlistError",
     "SimulationError",
     "ModelError",
+    "CampaignError",
+    "SerializationError",
 ]

@@ -22,3 +22,15 @@ class SimulationError(ReproError):
 class ModelError(ReproError):
     """Raised for model misuse: predicting before fitting, shape
     mismatches between features and weights, or invalid hyperparameters."""
+
+
+class CampaignError(SimulationError):
+    """Raised for campaign-harness failures: corrupt or mismatched
+    checkpoints, resume against a different campaign configuration, or
+    invalid runner policies.  Distinct from faults *injected into* the
+    DUT — this is the harness itself misbehaving."""
+
+
+class SerializationError(ReproError):
+    """Raised when a persisted artifact (campaign archive, dataset,
+    checkpoint) is corrupt, truncated, or internally inconsistent."""

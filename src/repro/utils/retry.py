@@ -1,0 +1,120 @@
+"""Bounded retry with jittered exponential backoff.
+
+The fault-injection campaign runner supervises each workload pass with
+this policy; it is deliberately free of any FI-specific vocabulary so
+other long-running stages (training sweeps, batch export) can reuse it.
+
+Determinism matters here as much as in the simulators: the jitter is
+drawn from a seeded generator, so a retry schedule is reproducible, and
+both the clock and the sleep function are injectable so tests can run
+the whole policy against a fake clock.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple, TypeVar
+
+import numpy as np
+
+from repro.utils.errors import SimulationError
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Jittered exponential backoff schedule.
+
+    Attempt ``k`` (0-based) sleeps ``base * multiplier**k`` seconds,
+    capped at ``max_delay``, then scaled by a uniform jitter factor in
+    ``[1 - jitter, 1 + jitter]`` to decorrelate concurrent retriers.
+    """
+
+    base: float = 0.5
+    multiplier: float = 2.0
+    max_delay: float = 30.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.max_delay < 0:
+            raise SimulationError("backoff delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise SimulationError(
+                f"backoff multiplier {self.multiplier} must be >= 1"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise SimulationError(
+                f"backoff jitter {self.jitter} outside [0, 1)"
+            )
+
+    def delays(self, attempts: int) -> List[float]:
+        """The full sleep schedule for ``attempts`` retries."""
+        rng = np.random.default_rng(self.seed)
+        out = []
+        for attempt in range(attempts):
+            delay = min(self.base * self.multiplier ** attempt,
+                        self.max_delay)
+            if self.jitter:
+                delay *= 1.0 + self.jitter * float(
+                    rng.uniform(-1.0, 1.0)
+                )
+            out.append(delay)
+        return out
+
+
+@dataclass
+class RetryOutcome:
+    """What a supervised call actually did, for the failure ledger."""
+
+    attempts: int
+    elapsed_seconds: float
+    error: Optional[BaseException] = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.error is None
+
+
+def retry_call(
+    fn: Callable[[], T],
+    retries: int = 0,
+    backoff: Optional[BackoffPolicy] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    clock: Callable[[], float] = time.perf_counter,
+) -> Tuple[Optional[T], RetryOutcome]:
+    """Call ``fn`` with up to ``retries`` retries.
+
+    Returns ``(value, outcome)``.  On exhaustion the value is ``None``
+    and ``outcome.error`` carries the *last* exception — the caller
+    decides whether exhaustion is fatal (the campaign runner records it
+    in the ledger and moves on).  ``KeyboardInterrupt``/``SystemExit``
+    always propagate: a kill must stay a kill, or checkpoint/resume
+    semantics break.
+    """
+    if retries < 0:
+        raise SimulationError(f"retries {retries} must be >= 0")
+    schedule = (backoff or BackoffPolicy()).delays(retries)
+    started = clock()
+    last_error: Optional[BaseException] = None
+    for attempt in range(retries + 1):
+        try:
+            value = fn()
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except BaseException as error:  # noqa: BLE001 — supervised unit
+            last_error = error
+            if attempt < retries:
+                sleep(schedule[attempt])
+            continue
+        return value, RetryOutcome(
+            attempts=attempt + 1,
+            elapsed_seconds=clock() - started,
+        )
+    return None, RetryOutcome(
+        attempts=retries + 1,
+        elapsed_seconds=clock() - started,
+        error=last_error,
+    )

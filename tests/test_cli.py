@@ -50,6 +50,27 @@ def test_campaign_command_saves(tmp_path, capsys):
     assert loaded.netlist_name == "or1200_icfsm"
 
 
+def test_campaign_command_checkpoint_resume(tmp_path, capsys):
+    checkpoint_dir = tmp_path / "checkpoints"
+    common = ["campaign", "or1200_icfsm", "--workloads", "2",
+              "--cycles", "60", "--checkpoint-dir",
+              str(checkpoint_dir)]
+    assert main(common) == 0
+    assert (checkpoint_dir / "manifest.json").exists()
+    assert main(common + ["--resume"]) == 0
+    out = capsys.readouterr().out
+    assert "fault-experiments" in out
+
+
+def test_campaign_command_retry_flags(capsys):
+    assert main([
+        "campaign", "or1200_icfsm", "--workloads", "2",
+        "--cycles", "60", "--timeout", "600", "--retries", "1",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Algorithm 1" in out
+
+
 def test_analyze_command(capsys):
     assert main([
         "analyze", "or1200_icfsm", "--workloads", "6", "--cycles", "80",

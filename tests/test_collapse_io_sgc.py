@@ -130,6 +130,62 @@ class TestPersistence:
         ]
         assert np.array_equal(loaded.error_cycles, campaign.error_cycles)
 
+    def test_corrupt_campaign_archive_rejected(self, tmp_path):
+        from repro.utils.errors import SerializationError
+
+        garbage = tmp_path / "garbage.npz"
+        garbage.write_bytes(b"this is not a zip archive")
+        with pytest.raises(SerializationError, match="corrupt"):
+            load_campaign(garbage)
+        assert issubclass(SerializationError, ReproError)
+
+    def test_truncated_campaign_archive_rejected(self, icfsm,
+                                                 tmp_path):
+        workloads = design_workloads(icfsm.name, icfsm, count=2,
+                                     cycles=60, seed=0)
+        campaign = run_campaign(icfsm, workloads)
+        path = tmp_path / "campaign.npz"
+        save_campaign(campaign, path)
+        payload = path.read_bytes()
+        path.write_bytes(payload[: len(payload) // 2])
+        with pytest.raises(ReproError):
+            load_campaign(path)
+
+    def test_inconsistent_campaign_shapes_rejected(self, icfsm,
+                                                   tmp_path):
+        """Tampered archive: error matrix dropped a workload row."""
+        workloads = design_workloads(icfsm.name, icfsm, count=3,
+                                     cycles=60, seed=0)
+        campaign = run_campaign(icfsm, workloads)
+        path = tmp_path / "campaign.npz"
+        campaign.error_cycles = campaign.error_cycles[:2]
+        save_campaign(campaign, path)
+        with pytest.raises(ReproError, match="shape"):
+            load_campaign(path)
+
+    def test_corrupt_dataset_json_rejected(self, tmp_path):
+        path = tmp_path / "dataset.json"
+        path.write_text("{truncated", encoding="utf-8")
+        with pytest.raises(ReproError, match="not valid JSON"):
+            load_dataset(path)
+
+    def test_dataset_missing_keys_rejected(self, tmp_path):
+        path = tmp_path / "dataset.json"
+        path.write_text('{"design": "x"}', encoding="utf-8")
+        with pytest.raises(ReproError, match="missing"):
+            load_dataset(path)
+
+    def test_dataset_malformed_node_rejected(self, tmp_path):
+        import json
+
+        path = tmp_path / "dataset.json"
+        path.write_text(json.dumps({
+            "design": "x", "threshold": 0.5, "n_workloads": 1,
+            "nodes": [{"name": "a"}],
+        }), encoding="utf-8")
+        with pytest.raises(ReproError, match="node row 0"):
+            load_dataset(path)
+
     def test_dataset_roundtrip(self, icfsm_analyzer, tmp_path):
         dataset = icfsm_analyzer.dataset
         path = tmp_path / "dataset.json"

@@ -1,0 +1,386 @@
+"""Tests for the resilient campaign runner: backoff/retry policies,
+checkpoint/resume, timeout supervision, and graceful degradation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.fi import run_campaign
+from repro.fi.checkpoint import MANIFEST_NAME
+from repro.fi.runner import CampaignRunner, PassTimeout, RunnerPolicy
+from repro.sim import Workload, design_workloads
+from repro.sim.bitparallel import BitParallelSimulator
+from repro.utils.errors import (
+    CampaignError,
+    SerializationError,
+    SimulationError,
+)
+from repro.utils.retry import BackoffPolicy, retry_call
+
+NO_WAIT = BackoffPolicy(base=0.0, jitter=0.0)
+
+
+@pytest.fixture(scope="module")
+def suite(icfsm):
+    return design_workloads(icfsm.name, icfsm, count=4, cycles=60,
+                            seed=0)
+
+
+@pytest.fixture(scope="module")
+def baseline(icfsm, suite):
+    return run_campaign(icfsm, suite)
+
+
+def assert_campaigns_identical(left, right):
+    assert left.netlist_name == right.netlist_name
+    assert left.workload_names == right.workload_names
+    assert np.array_equal(left.workload_cycles, right.workload_cycles)
+    assert np.array_equal(left.error_cycles, right.error_cycles)
+    assert np.array_equal(left.detection_cycle, right.detection_cycle)
+    assert np.array_equal(left.latent, right.latent)
+    assert left.severity == right.severity
+
+
+class TestBackoffPolicy:
+    def test_exponential_growth_and_cap(self):
+        policy = BackoffPolicy(base=1.0, multiplier=2.0, max_delay=5.0,
+                               jitter=0.0)
+        assert policy.delays(4) == [1.0, 2.0, 4.0, 5.0]
+
+    def test_jitter_bounds_and_determinism(self):
+        policy = BackoffPolicy(base=1.0, multiplier=1.0, max_delay=10.0,
+                               jitter=0.25, seed=7)
+        delays = policy.delays(50)
+        assert all(0.75 <= delay <= 1.25 for delay in delays)
+        assert delays == policy.delays(50)  # seeded => reproducible
+        assert delays != BackoffPolicy(
+            base=1.0, multiplier=1.0, max_delay=10.0, jitter=0.25,
+            seed=8,
+        ).delays(50)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            BackoffPolicy(base=-1.0)
+        with pytest.raises(SimulationError):
+            BackoffPolicy(multiplier=0.5)
+        with pytest.raises(SimulationError):
+            BackoffPolicy(jitter=1.0)
+
+
+class TestRetryCall:
+    def _fake_clock(self):
+        state = {"now": 0.0}
+
+        def clock():
+            return state["now"]
+
+        def sleep(seconds):
+            state["now"] += seconds
+
+        return clock, sleep, state
+
+    def test_success_first_try(self):
+        clock, sleep, _ = self._fake_clock()
+        value, outcome = retry_call(lambda: 42, retries=3,
+                                    sleep=sleep, clock=clock)
+        assert value == 42
+        assert outcome.succeeded and outcome.attempts == 1
+
+    def test_succeeds_after_failures_with_backoff_schedule(self):
+        clock, sleep, state = self._fake_clock()
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise RuntimeError("transient")
+            return "ok"
+
+        policy = BackoffPolicy(base=1.0, multiplier=2.0,
+                               max_delay=100.0, jitter=0.0)
+        value, outcome = retry_call(flaky, retries=5, backoff=policy,
+                                    sleep=sleep, clock=clock)
+        assert value == "ok"
+        assert outcome.attempts == 3
+        assert state["now"] == 3.0  # slept 1s then 2s on the fake clock
+
+    def test_exhaustion_returns_last_error(self):
+        clock, sleep, _ = self._fake_clock()
+
+        def always_broken():
+            raise ValueError("permanent")
+
+        value, outcome = retry_call(always_broken, retries=2,
+                                    backoff=NO_WAIT, sleep=sleep,
+                                    clock=clock)
+        assert value is None
+        assert not outcome.succeeded
+        assert outcome.attempts == 3
+        assert isinstance(outcome.error, ValueError)
+
+    def test_kill_propagates(self):
+        def killed():
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            retry_call(killed, retries=5, backoff=NO_WAIT,
+                       sleep=lambda _s: None)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(SimulationError):
+            retry_call(lambda: 1, retries=-1)
+
+
+class TestPreflight:
+    def test_zero_cycle_workload_rejected(self, icfsm):
+        empty = Workload(
+            "empty", icfsm.input_names(),
+            np.zeros((0, icfsm.n_inputs), dtype=np.uint8),
+        )
+        with pytest.raises(SimulationError, match="zero-cycle"):
+            run_campaign(icfsm, [empty])
+
+    def test_duplicate_workload_names_rejected(self, icfsm, suite):
+        with pytest.raises(SimulationError, match="duplicate"):
+            run_campaign(icfsm, [suite[0], suite[0]])
+
+    def test_policy_validation(self):
+        with pytest.raises(CampaignError):
+            RunnerPolicy(timeout=0.0)
+        with pytest.raises(CampaignError):
+            RunnerPolicy(retries=-1)
+        with pytest.raises(CampaignError):
+            RunnerPolicy(resume=True)  # no checkpoint_dir
+
+
+class TestCheckpointResume:
+    def test_uninterrupted_checkpointed_run_matches_plain(
+        self, icfsm, suite, baseline, tmp_path,
+    ):
+        checkpointed = run_campaign(icfsm, suite,
+                                    checkpoint_dir=tmp_path)
+        assert_campaigns_identical(baseline, checkpointed)
+        files = sorted(path.name for path in tmp_path.iterdir())
+        assert MANIFEST_NAME in files
+        assert sum(name.startswith("workload_") for name in files) == 4
+
+    def test_killed_campaign_resumes_identically(
+        self, icfsm, suite, baseline, tmp_path, monkeypatch,
+    ):
+        """Simulated SIGKILL after 2 completed workloads: the interrupt
+        propagates (kills stay kills), checkpoints survive, and the
+        resumed campaign is identical to an uninterrupted one."""
+        original = BitParallelSimulator.run_fault_pass
+        passes = {"n": 0}
+
+        def dying(self, workload, *args, **kwargs):
+            if passes["n"] == 2:
+                raise KeyboardInterrupt
+            passes["n"] += 1
+            return original(self, workload, *args, **kwargs)
+
+        monkeypatch.setattr(BitParallelSimulator, "run_fault_pass",
+                            dying)
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(icfsm, suite, checkpoint_dir=tmp_path,
+                         retries=3, backoff=NO_WAIT)
+        completed = [path for path in tmp_path.iterdir()
+                     if path.name.startswith("workload_")]
+        assert len(completed) == 2  # durable progress survived the kill
+
+        monkeypatch.setattr(BitParallelSimulator, "run_fault_pass",
+                            original)
+        resumed = run_campaign(icfsm, suite, checkpoint_dir=tmp_path,
+                               resume=True)
+        assert_campaigns_identical(baseline, resumed)
+        assert resumed.complete
+
+    def test_resume_with_collapse(self, icfsm, suite, tmp_path):
+        plain = run_campaign(icfsm, suite, collapse=True)
+        run_campaign(icfsm, suite, collapse=True,
+                     checkpoint_dir=tmp_path)
+        resumed = run_campaign(icfsm, suite, collapse=True,
+                               checkpoint_dir=tmp_path, resume=True)
+        assert_campaigns_identical(plain, resumed)
+
+    def test_fresh_run_refuses_populated_directory(
+        self, icfsm, suite, tmp_path,
+    ):
+        run_campaign(icfsm, suite, checkpoint_dir=tmp_path)
+        with pytest.raises(CampaignError, match="resume it"):
+            run_campaign(icfsm, suite, checkpoint_dir=tmp_path)
+
+    def test_resume_without_manifest_rejected(
+        self, icfsm, suite, tmp_path,
+    ):
+        with pytest.raises(CampaignError, match="nothing to resume"):
+            run_campaign(icfsm, suite, checkpoint_dir=tmp_path,
+                         resume=True)
+
+    def test_resume_different_campaign_rejected(
+        self, icfsm, suite, tmp_path,
+    ):
+        """Same workload *names*, different stimulus bytes: the
+        fingerprint must catch it."""
+        run_campaign(icfsm, suite, checkpoint_dir=tmp_path)
+        other = design_workloads(icfsm.name, icfsm, count=4, cycles=60,
+                                 seed=99)
+        assert [w.name for w in other] == [w.name for w in suite]
+        with pytest.raises(CampaignError, match="different campaign"):
+            run_campaign(icfsm, other, checkpoint_dir=tmp_path,
+                         resume=True)
+
+    def test_corrupt_workload_checkpoint_rejected(
+        self, icfsm, suite, tmp_path,
+    ):
+        run_campaign(icfsm, suite, checkpoint_dir=tmp_path)
+        victim = tmp_path / "workload_0001.npz"
+        victim.write_bytes(victim.read_bytes()[:40])  # truncate
+        with pytest.raises(CampaignError, match="failed validation"):
+            run_campaign(icfsm, suite, checkpoint_dir=tmp_path,
+                         resume=True)
+
+    def test_corrupt_manifest_rejected(self, icfsm, suite, tmp_path):
+        run_campaign(icfsm, suite, checkpoint_dir=tmp_path)
+        (tmp_path / MANIFEST_NAME).write_text("{not json",
+                                              encoding="utf-8")
+        with pytest.raises(CampaignError, match="corrupt"):
+            run_campaign(icfsm, suite, checkpoint_dir=tmp_path,
+                         resume=True)
+
+
+class TestGracefulDegradation:
+    def test_retry_exhaustion_yields_failure_ledger(
+        self, icfsm, suite, baseline, monkeypatch,
+    ):
+        original = BitParallelSimulator.run_fault_pass
+        broken = suite[1].name
+
+        def flaky(self, workload, *args, **kwargs):
+            if workload.name == broken:
+                raise RuntimeError("injected harness fault")
+            return original(self, workload, *args, **kwargs)
+
+        monkeypatch.setattr(BitParallelSimulator, "run_fault_pass",
+                            flaky)
+        result = run_campaign(icfsm, suite, retries=2,
+                              backoff=NO_WAIT)
+        assert not result.complete
+        assert [f.workload for f in result.failures] == [broken]
+        failure = result.failures[0]
+        assert failure.status == "error"
+        assert failure.attempts == 3  # 1 try + 2 retries
+        assert "injected harness fault" in failure.error
+        assert list(result.completed_mask) == [True, False, True, True]
+        # failed row stays at the no-error initial state...
+        assert result.error_cycles[1].sum() == 0
+        assert (result.detection_cycle[1] == -1).all()
+        assert not result.latent[1].any()
+        # ...and the other rows are the real results.
+        for row in (0, 2, 3):
+            assert np.array_equal(result.error_cycles[row],
+                                  baseline.error_cycles[row])
+
+    def test_transient_failure_recovered_by_retry(
+        self, icfsm, suite, baseline, monkeypatch,
+    ):
+        original = BitParallelSimulator.run_fault_pass
+        attempts = {"n": 0}
+
+        def once_flaky(self, workload, *args, **kwargs):
+            attempts["n"] += 1
+            if attempts["n"] == 1:
+                raise RuntimeError("transient")
+            return original(self, workload, *args, **kwargs)
+
+        monkeypatch.setattr(BitParallelSimulator, "run_fault_pass",
+                            once_flaky)
+        result = run_campaign(icfsm, suite, retries=1, backoff=NO_WAIT)
+        assert result.complete
+        assert_campaigns_identical(baseline, result)
+
+    def test_hung_pass_times_out(self, icfsm, suite, monkeypatch):
+        import time as time_module
+
+        original = BitParallelSimulator.run_fault_pass
+        hung = suite[0].name
+
+        def hang(self, workload, *args, **kwargs):
+            if workload.name == hung:
+                time_module.sleep(5.0)
+            return original(self, workload, *args, **kwargs)
+
+        monkeypatch.setattr(BitParallelSimulator, "run_fault_pass",
+                            hang)
+        result = run_campaign(icfsm, suite[:2], timeout=0.2)
+        assert [f.status for f in result.failures] == ["timeout"]
+        assert result.failures[0].workload == hung
+        assert result.completed_mask[1]
+
+    def test_failure_ledger_survives_save_load(
+        self, icfsm, suite, monkeypatch, tmp_path,
+    ):
+        from repro.io import load_campaign, save_campaign
+
+        original = BitParallelSimulator.run_fault_pass
+
+        def flaky(self, workload, *args, **kwargs):
+            if workload.name == suite[0].name:
+                raise RuntimeError("dead workload")
+            return original(self, workload, *args, **kwargs)
+
+        monkeypatch.setattr(BitParallelSimulator, "run_fault_pass",
+                            flaky)
+        result = run_campaign(icfsm, suite, backoff=NO_WAIT)
+        target = tmp_path / "partial.npz"
+        save_campaign(result, target)
+        loaded = load_campaign(target)
+        assert loaded.failures == result.failures
+        assert list(loaded.completed_mask) == list(
+            result.completed_mask
+        )
+
+    def test_timeout_failures_checkpoint_resume(
+        self, icfsm, suite, baseline, monkeypatch, tmp_path,
+    ):
+        """A failed workload is NOT checkpointed: a later resume
+        re-simulates it and recovers the full campaign."""
+        original = BitParallelSimulator.run_fault_pass
+        broken = suite[2].name
+
+        def flaky(self, workload, *args, **kwargs):
+            if workload.name == broken:
+                raise RuntimeError("flaky box")
+            return original(self, workload, *args, **kwargs)
+
+        monkeypatch.setattr(BitParallelSimulator, "run_fault_pass",
+                            flaky)
+        partial = run_campaign(icfsm, suite, checkpoint_dir=tmp_path,
+                               backoff=NO_WAIT)
+        assert [f.workload for f in partial.failures] == [broken]
+
+        monkeypatch.setattr(BitParallelSimulator, "run_fault_pass",
+                            original)
+        recovered = run_campaign(icfsm, suite, checkpoint_dir=tmp_path,
+                                 resume=True)
+        assert recovered.complete
+        assert_campaigns_identical(baseline, recovered)
+
+
+class TestRunnerDirect:
+    def test_runner_preflight_happens_at_construction(self, icfsm):
+        with pytest.raises(SimulationError):
+            CampaignRunner(icfsm, [])
+
+    def test_pass_timeout_is_campaign_error(self):
+        assert issubclass(PassTimeout, CampaignError)
+
+    def test_manifest_contents(self, icfsm, suite, tmp_path):
+        run_campaign(icfsm, suite, checkpoint_dir=tmp_path)
+        manifest = json.loads(
+            (tmp_path / MANIFEST_NAME).read_text(encoding="utf-8")
+        )
+        assert manifest["netlist_name"] == icfsm.name
+        assert manifest["workload_names"] == [w.name for w in suite]
+        assert manifest["n_faults"] == 2 * icfsm.n_gates
