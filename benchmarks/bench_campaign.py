@@ -1,0 +1,161 @@
+"""Campaign-engine throughput: serial vs sharded vs multi-core.
+
+Fault-simulation throughput caps the size of the ground-truth dataset
+Algorithm 1 can afford, so this benchmark tracks the engine's headline
+numbers in machine-readable form: ``results/BENCH_campaign.json``
+records cycles/sec, fault-experiment-cycles/sec, and the speedups of
+the sharded/parallel configurations over serial — plus a frozen
+``seed_reference`` (the pre-optimization engine measured on the same
+workload shape) so inner-loop regressions show up as a ratio < 1.
+
+Runs two ways:
+
+* ``pytest benchmarks/bench_campaign.py`` — full measurement, writes
+  the JSON artifact next to the other rendered results.
+* ``python benchmarks/bench_campaign.py [--smoke] [--jobs N]`` —
+  standalone; ``--smoke`` shrinks the workload suite for the CI guard
+  (exercises the parallel path end to end, skips the artifact write).
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+RESULTS_DIR = Path(__file__).parent / "results"
+ARTIFACT = "BENCH_campaign.json"
+
+DESIGN = "or1200_icfsm"
+WORKLOADS = 8
+CYCLES = 200
+
+#: Pre-optimization engine (per-cycle allocations, per-mismatch-cycle
+#: unpackbits) measured on this exact workload shape at the commit that
+#: introduced this benchmark.  Frozen so every later run reports the
+#: cumulative inner-loop speedup, not just run-to-run noise.
+SEED_REFERENCE = {
+    "design": "or1200_icfsm",
+    "n_faults": 526,
+    "n_nets": 302,
+    "workloads": 8,
+    "cycles_per_workload": 200,
+    "seconds": 1.385,
+    "cycles_per_sec": 1155.3,
+    "fault_cycles_per_sec": 607670.9,
+}
+
+
+def _measure(design, workloads, repeats=3, **campaign_kwargs):
+    """Best-of-N wall clock for one campaign configuration."""
+    from repro.fi import run_campaign
+
+    best = None
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = run_campaign(design, workloads, **campaign_kwargs)
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    assert result is not None and not result.failures
+    return best, result
+
+
+def run_benchmark(design_name=DESIGN, n_workloads=WORKLOADS,
+                  cycles=CYCLES, jobs=2, repeats=3):
+    """Measure serial / sharded / parallel and assemble the payload."""
+    from repro import build_design
+    from repro.sim import design_workloads
+
+    design = build_design(design_name)
+    workloads = design_workloads(design.name, design,
+                                 count=n_workloads, cycles=cycles,
+                                 seed=0)
+    total_cycles = n_workloads * cycles
+
+    serial_s, serial = _measure(design, workloads, repeats=repeats)
+    sharded_s, sharded = _measure(design, workloads, repeats=repeats,
+                                  shard_size="auto")
+    parallel_s, parallel = _measure(design, workloads, repeats=repeats,
+                                    shard_size="auto", jobs=jobs)
+    for other in (sharded, parallel):
+        assert np.array_equal(serial.error_cycles, other.error_cycles)
+        assert np.array_equal(serial.detection_cycle,
+                              other.detection_cycle)
+
+    n_faults = len(serial.faults)
+
+    def rates(seconds):
+        return {
+            "seconds": round(seconds, 3),
+            "cycles_per_sec": round(total_cycles / seconds, 1),
+            "fault_cycles_per_sec": round(
+                n_faults * total_cycles / seconds, 1
+            ),
+        }
+
+    return {
+        "design": design.name,
+        "n_faults": n_faults,
+        "n_nets": design.n_nets,
+        "workloads": n_workloads,
+        "cycles_per_workload": cycles,
+        "cpu_count": os.cpu_count(),
+        "jobs": jobs,
+        "serial": rates(serial_s),
+        "sharded_serial": rates(sharded_s),
+        "parallel": rates(parallel_s),
+        "parallel_speedup_vs_serial": round(serial_s / parallel_s, 2),
+        "seed_reference": SEED_REFERENCE,
+        "serial_speedup_vs_seed": round(
+            (n_faults * total_cycles / serial_s)
+            / SEED_REFERENCE["fault_cycles_per_sec"], 2
+        ),
+    }
+
+
+def test_campaign_throughput(benchmark, artifact):
+    payload = {}
+
+    def run():
+        payload.update(run_benchmark())
+        return payload
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    # jobs=1 must never regress against the pre-optimization engine.
+    assert payload["serial_speedup_vs_seed"] >= 1.0
+    artifact(ARTIFACT, json.dumps(payload, indent=2))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny suite, single repeat, no artifact "
+                             "(the CI guard)")
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--out", metavar="FILE.json",
+                        help="write the payload here instead of "
+                             f"results/{ARTIFACT}")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        payload = run_benchmark(n_workloads=2, cycles=60,
+                                jobs=args.jobs, repeats=1)
+    else:
+        payload = run_benchmark(jobs=args.jobs)
+    text = json.dumps(payload, indent=2)
+    print(text)
+    if not args.smoke:
+        out = Path(args.out) if args.out else RESULTS_DIR / ARTIFACT
+        out.parent.mkdir(exist_ok=True)
+        out.write_text(text + "\n", encoding="utf-8")
+        print(f"\nartifact -> {out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+    sys.exit(main())

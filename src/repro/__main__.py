@@ -23,6 +23,13 @@ from repro.reporting import bar_chart, render_table
 DESIGN_CHOICES = ("sdram", "or1200_if", "or1200_icfsm", "uart")
 
 
+def _parse_shard_size(text: str):
+    """``--shard-size`` values: a fault count, or ``auto``."""
+    if text == "auto":
+        return None
+    return int(text)
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("design", choices=DESIGN_CHOICES)
     parser.add_argument("--seed", type=int, default=0)
@@ -81,6 +88,7 @@ def cmd_campaign(args) -> int:
         design, workloads, collapse=args.collapse,
         timeout=args.timeout, retries=args.retries,
         checkpoint_dir=args.checkpoint_dir, resume=args.resume,
+        jobs=args.jobs, shard_size=args.shard_size,
     )
     experiments = len(campaign.faults) * campaign.n_workloads
     print(f"{experiments} fault-experiments in "
@@ -253,6 +261,16 @@ def main(argv=None) -> int:
                           help="retries per workload after a failed or "
                                "hung pass (exhaustion lands in the "
                                "failure ledger)")
+    campaign.add_argument("--jobs", type=int, default=1, metavar="N",
+                          help="worker processes for (workload x "
+                               "shard) units (0 = all cores; results "
+                               "are bitwise identical to --jobs 1)")
+    campaign.add_argument("--shard-size", type=_parse_shard_size,
+                          default=0, metavar="N|auto",
+                          help="faults simulated per shard (0 = whole "
+                               "universe per pass, auto = sized so "
+                               "each shard's value matrix fits in "
+                               "cache)")
 
     explain = commands.add_parser("explain",
                                   help="per-node explanations")

@@ -19,6 +19,7 @@ from repro.fi.collapse import (
     CollapsedUniverse,
     collapse_faults,
     expand_results,
+    expand_shard,
 )
 from repro.fi.analysis import (
     always_latent_faults,
@@ -72,6 +73,7 @@ __all__ = [
     "CollapsedUniverse",
     "collapse_faults",
     "expand_results",
+    "expand_shard",
     "Fault",
     "faults_for_nodes",
     "full_fault_universe",

@@ -18,7 +18,7 @@ state without ever reaching an output is *Latent*; everything else is
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -117,29 +117,36 @@ class CampaignResult:
         """Per-fault score: fraction of workloads where it is dangerous."""
         return self.dangerous.mean(axis=0)
 
-    def node_dangerous_matrix(self) -> np.ndarray:
-        """Bool (n_workloads, n_nodes): any-fault-dangerous per node."""
+    def _fault_node_index(self) -> Tuple[List[str], np.ndarray]:
+        """Node names plus the fault -> node-position index array that
+        the vectorized per-node aggregations scatter through."""
         node_names = self.node_names
         position = {name: i for i, name in enumerate(node_names)}
-        out = np.zeros((self.n_workloads, len(node_names)), dtype=bool)
-        dangerous = self.dangerous
-        for fault_index, fault in enumerate(self.faults):
-            out[:, position[fault.node_name]] |= dangerous[:, fault_index]
-        return out
+        index = np.fromiter(
+            (position[fault.node_name] for fault in self.faults),
+            dtype=np.intp, count=len(self.faults),
+        )
+        return node_names, index
+
+    def _node_dangerous_totals(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-(node, workload) Dangerous-fault counts and per-node
+        fault counts, accumulated with one ``np.add.at`` scatter."""
+        node_names, index = self._fault_node_index()
+        totals = np.zeros((len(node_names), self.n_workloads))
+        np.add.at(totals, index, self.dangerous.T)
+        counts = np.bincount(index, minlength=len(node_names))
+        return totals, counts
+
+    def node_dangerous_matrix(self) -> np.ndarray:
+        """Bool (n_workloads, n_nodes): any-fault-dangerous per node."""
+        totals, _ = self._node_dangerous_totals()
+        return (totals > 0).T
 
     def node_fraction_matrix(self) -> np.ndarray:
         """Float (n_workloads, n_nodes): per workload, the fraction of
         the node's faults (SA0/SA1) that are Dangerous."""
-        node_names = self.node_names
-        position = {name: i for i, name in enumerate(node_names)}
-        totals = np.zeros((self.n_workloads, len(node_names)))
-        counts = np.zeros(len(node_names))
-        dangerous = self.dangerous
-        for fault_index, fault in enumerate(self.faults):
-            node = position[fault.node_name]
-            totals[:, node] += dangerous[:, fault_index]
-            counts[node] += 1
-        return totals / counts
+        totals, counts = self._node_dangerous_totals()
+        return (totals / counts[:, None]).T
 
     def node_criticality(self) -> Dict[str, float]:
         """Algorithm 1's ``NodeCritic``: per-node criticality score.
@@ -202,6 +209,8 @@ def run_campaign(
     backoff=None,
     checkpoint_dir=None,
     resume: bool = False,
+    jobs: int = 1,
+    shard_size=0,
 ) -> CampaignResult:
     """Run the full fault-injection campaign.
 
@@ -234,10 +243,17 @@ def run_campaign(
             failure ledger instead of aborting the campaign.
         backoff: :class:`~repro.utils.retry.BackoffPolicy` between
             attempts (default: jittered exponential).
-        checkpoint_dir: Directory for durable per-workload checkpoints;
+        checkpoint_dir: Directory for durable per-unit checkpoints;
             ``None`` disables checkpointing.
-        resume: Load completed workloads from ``checkpoint_dir``
-            instead of re-simulating them.
+        resume: Load completed units from ``checkpoint_dir`` instead of
+            re-simulating them.
+        jobs: Worker processes executing (workload x shard) units
+            concurrently; ``1`` (default) runs serially in-process,
+            ``0`` uses every core.
+        shard_size: Faults simulated per unit — ``0`` (default) keeps
+            the whole universe in one pass per workload,
+            ``None``/``"auto"`` sizes shards so each value matrix fits
+            in cache.  Results are bitwise identical for every setting.
 
     Returns:
         A :class:`CampaignResult` with per-(workload, fault) outcomes
@@ -252,6 +268,8 @@ def run_campaign(
         backoff=backoff,
         checkpoint_dir=checkpoint_dir,
         resume=resume,
+        jobs=jobs,
+        shard_size=shard_size,
     )
     runner = CampaignRunner(
         netlist,

@@ -1,12 +1,16 @@
-"""Durable per-workload checkpointing for fault-injection campaigns.
+"""Durable per-unit checkpointing for fault-injection campaigns.
 
 A checkpoint store is a directory holding one ``manifest.json``
-describing the campaign configuration plus one ``workload_NNNN.npz``
-per *completed* workload pass.  Completion is defined by the atomic
-rename in :func:`repro.io.save_workload_checkpoint`: a workload file
+describing the campaign configuration plus one ``.npz`` per *completed*
+unit of work.  The unit is ``(workload, fault shard)``: an unsharded
+campaign writes the classic one-file-per-workload layout
+(``workload_NNNN.npz``), a sharded one writes
+``workload_NNNN_shard_SSS.npz`` per shard, so a killed multi-core
+campaign resumes at shard granularity.  Completion is defined by the
+atomic rename in :func:`repro.io.save_workload_checkpoint`: a unit file
 either exists in full or not at all, so a campaign killed at any
 instant — including mid-write — resumes cleanly from the last whole
-workload.
+unit.
 
 The manifest and every workload file carry a *fingerprint* of the
 campaign configuration (netlist, fault universe, workload stimulus
@@ -22,7 +26,7 @@ from __future__ import annotations
 import hashlib
 import json
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -75,36 +79,63 @@ def campaign_fingerprint(
 
 
 class CheckpointStore:
-    """Directory-backed checkpoint store for one campaign run."""
+    """Directory-backed checkpoint store for one campaign run.
+
+    ``shard_bounds`` is the campaign's fault-shard layout as contiguous
+    ``(start, stop)`` pairs; ``None`` (or a single all-covering pair)
+    selects the classic unsharded per-workload layout.  The layout is
+    recorded in the manifest, and a resume under a *different* layout is
+    refused — the unit files would carry incompatible column spans.
+    """
 
     def __init__(self, directory: PathLike, *, fingerprint: str,
                  netlist_name: str, workload_names: Sequence[str],
-                 n_faults: int) -> None:
+                 n_faults: int,
+                 shard_bounds: Optional[Sequence[Tuple[int, int]]] = None,
+                 ) -> None:
         self.directory = Path(directory)
         self.fingerprint = fingerprint
         self.netlist_name = netlist_name
         self.workload_names = list(workload_names)
         self.n_faults = n_faults
+        self.shard_bounds = (
+            [(int(lo), int(hi)) for lo, hi in shard_bounds]
+            if shard_bounds is not None else [(0, n_faults)]
+        )
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shard_bounds)
 
     # -- paths ---------------------------------------------------------
     @property
     def manifest_path(self) -> Path:
         return self.directory / MANIFEST_NAME
 
+    def unit_path(self, index: int, shard: int = 0) -> Path:
+        """Checkpoint file for one (workload, shard) unit."""
+        if self.n_shards == 1:
+            return self.directory / f"workload_{index:04d}.npz"
+        return self.directory / (
+            f"workload_{index:04d}_shard_{shard:03d}.npz"
+        )
+
     def workload_path(self, index: int) -> Path:
-        return self.directory / f"workload_{index:04d}.npz"
+        """Unsharded-layout file for one workload (legacy name)."""
+        return self.unit_path(index, 0)
 
     # -- lifecycle -----------------------------------------------------
-    def open(self, resume: bool) -> Dict[int, dict]:
-        """Prepare the store; return already-completed rows.
+    def open(self, resume: bool) -> Dict[Tuple[int, int], dict]:
+        """Prepare the store; return already-completed units.
 
-        Fresh runs (``resume=False``) require the directory to hold no
-        prior manifest — refusing to clobber an existing campaign's
-        checkpoints is cheaper than diagnosing a half-mixed result.
-        Resumed runs validate the manifest against the current campaign
-        and load every intact workload file (a corrupt workload file
-        fails loudly rather than being re-simulated behind the
-        operator's back).
+        The result maps ``(workload_index, shard_index)`` to the loaded
+        checkpoint arrays.  Fresh runs (``resume=False``) require the
+        directory to hold no prior manifest — refusing to clobber an
+        existing campaign's checkpoints is cheaper than diagnosing a
+        half-mixed result.  Resumed runs validate the manifest against
+        the current campaign (including the shard layout) and load every
+        intact unit file (a corrupt unit file fails loudly rather than
+        being re-simulated behind the operator's back).
         """
         self.directory.mkdir(parents=True, exist_ok=True)
         if self.manifest_path.exists():
@@ -124,14 +155,15 @@ class CheckpointStore:
         self._write_manifest()
         return {}
 
-    def record(self, index: int, *, error_cycles: np.ndarray,
+    def record(self, index: int, shard: int = 0, *,
+               error_cycles: np.ndarray,
                detection_cycle: np.ndarray, latent: np.ndarray,
                elapsed_seconds: float) -> None:
-        """Durably persist one completed workload pass."""
+        """Durably persist one completed (workload, shard) unit."""
         from repro.io import save_workload_checkpoint
 
         save_workload_checkpoint(
-            self.workload_path(index),
+            self.unit_path(index, shard),
             fingerprint=self.fingerprint,
             workload_index=index,
             error_cycles=error_cycles,
@@ -148,6 +180,7 @@ class CheckpointStore:
             "netlist_name": self.netlist_name,
             "workload_names": self.workload_names,
             "n_faults": self.n_faults,
+            "shards": [list(bounds) for bounds in self.shard_bounds],
         }
         temporary = self.manifest_path.with_suffix(".json.tmp")
         temporary.write_text(json.dumps(payload, indent=1),
@@ -176,35 +209,54 @@ class CheckpointStore:
                 "different campaign (netlist, faults, workloads, or "
                 "policy changed) — cannot resume"
             )
+        # Manifests from unsharded builds carry no "shards" key; they
+        # are by construction the single-shard layout.
+        stored = [
+            (int(lo), int(hi))
+            for lo, hi in manifest.get(
+                "shards", [[0, self.n_faults]]
+            )
+        ]
+        if stored != self.shard_bounds:
+            raise CampaignError(
+                f"checkpoint directory {self.directory} was written "
+                f"with a different fault-shard layout ({len(stored)} "
+                f"shard(s) vs {self.n_shards} now) — resume with the "
+                "same --shard-size, or start a fresh directory"
+            )
 
-    def _load_completed(self) -> Dict[int, dict]:
+    def _load_completed(self) -> Dict[Tuple[int, int], dict]:
         from repro.io import load_workload_checkpoint
 
-        completed: Dict[int, dict] = {}
+        completed: Dict[Tuple[int, int], dict] = {}
         for index in range(len(self.workload_names)):
-            path = self.workload_path(index)
-            if not path.exists():
-                continue
-            try:
-                completed[index] = load_workload_checkpoint(
-                    path,
-                    fingerprint=self.fingerprint,
-                    workload_index=index,
-                    n_faults=self.n_faults,
-                )
-            except SerializationError as error:
-                raise CampaignError(
-                    f"cannot resume: workload checkpoint {path} failed "
-                    f"validation ({error}); delete it to re-simulate "
-                    "that workload"
-                ) from error
+            for shard, (lo, hi) in enumerate(self.shard_bounds):
+                path = self.unit_path(index, shard)
+                if not path.exists():
+                    continue
+                try:
+                    completed[index, shard] = load_workload_checkpoint(
+                        path,
+                        fingerprint=self.fingerprint,
+                        workload_index=index,
+                        n_faults=hi - lo,
+                    )
+                except SerializationError as error:
+                    raise CampaignError(
+                        f"cannot resume: unit checkpoint {path} failed "
+                        f"validation ({error}); delete it to "
+                        "re-simulate that unit"
+                    ) from error
         return completed
 
     def completed_indices(self) -> List[int]:
-        """Indices with an intact checkpoint file on disk."""
+        """Workload indices whose every shard is checkpointed on disk."""
         return sorted(
             index for index in range(len(self.workload_names))
-            if self.workload_path(index).exists()
+            if all(
+                self.unit_path(index, shard).exists()
+                for shard in range(self.n_shards)
+            )
         )
 
 

@@ -84,10 +84,44 @@ def collapse_faults(netlist: Netlist,
 
 
 def expand_results(universe: CollapsedUniverse,
-                   per_representative: np.ndarray) -> np.ndarray:
+                   per_representative: np.ndarray,
+                   out: np.ndarray = None) -> np.ndarray:
     """Scatter per-representative result columns onto the full list.
 
     ``per_representative`` has the representative axis last; the
-    returned array has the original-fault axis last.
+    returned array has the original-fault axis last.  ``out`` reuses a
+    preallocated destination (same leading shape, original-fault axis
+    last).
     """
-    return per_representative[..., universe.class_of]
+    if out is None:
+        return per_representative[..., universe.class_of]
+    np.take(per_representative, universe.class_of, axis=-1, out=out)
+    return out
+
+
+def expand_shard(universe: CollapsedUniverse,
+                 bounds: Tuple[int, int],
+                 per_representative: np.ndarray,
+                 ) -> Tuple[np.ndarray, np.ndarray]:
+    """Expand ONE shard of representative columns onto the original
+    fault axis.
+
+    The sharded campaign engine simulates representatives
+    ``bounds[0]:bounds[1]`` as one unit; this maps that unit's result
+    columns directly to the original faults whose equivalence class
+    falls inside the shard, so a runner can scatter each unit into the
+    full-universe result matrices as it completes — no intermediate
+    all-representative matrix, and checkpointed units stay
+    representative-sized on disk.
+
+    Returns ``(original_indices, expanded_columns)``: assign
+    ``result[..., original_indices] = expanded_columns``.  Shards
+    partition the representative axis, so over all shards every
+    original fault is written exactly once and the merged result is
+    bitwise identical to ``expand_results`` on the concatenated
+    representative matrix.
+    """
+    lo, hi = bounds
+    members = (universe.class_of >= lo) & (universe.class_of < hi)
+    columns = per_representative[..., universe.class_of[members] - lo]
+    return np.flatnonzero(members), columns

@@ -1,26 +1,39 @@
-"""Resilient campaign execution: supervision, retry, checkpoint/resume.
+"""Resilient campaign execution: sharding, multi-core fan-out,
+supervision, retry, checkpoint/resume.
 
 The FI campaign is the expensive, ground-truth-generating stage of the
 whole pipeline, so its runner must survive faults in the *harness* as
-well as inject them into the DUT.  :class:`CampaignRunner` executes
-each workload's fault pass as an independent, supervised unit of work:
+well as inject them into the DUT — and it must use the whole host,
+because fault-simulation throughput is what caps dataset size.
+:class:`CampaignRunner` splits the (collapsed) fault universe into
+bounded-memory shards and executes each ``(workload, shard)`` pair as
+an independent, supervised **unit** of work:
 
-* **Timeout** — a pass that hangs past ``policy.timeout`` seconds is
-  abandoned (the worker thread is orphaned; a fresh engine is built for
+* **Sharding** — ``policy.shard_size`` bounds the faults per unit so
+  each unit's ``(n_nets, n_words)`` value matrix stays cache-resident
+  (``None``/``"auto"`` sizes it from the netlist; ``0`` disables
+  sharding).  Shards are contiguous, so merged results are bitwise
+  identical to an unsharded pass.
+* **Multi-core fan-out** — ``policy.jobs`` worker processes execute
+  units concurrently (fork-inherited context: netlists carry cell
+  lambdas that cannot pickle).  ``jobs=1`` runs everything in-process
+  with behaviour identical to the classic serial runner.
+* **Timeout** — a unit that hangs past ``policy.timeout`` seconds is
+  abandoned (the pass thread is orphaned; a fresh engine is built for
   the next attempt so a zombie pass can never corrupt a retry).
-* **Retry with backoff** — failed or hung passes are retried up to
+* **Retry with backoff** — failed or hung units are retried up to
   ``policy.retries`` times with jittered exponential backoff
   (:class:`~repro.utils.retry.BackoffPolicy`).
 * **Checkpointing** — with ``policy.checkpoint_dir`` set, every
-  completed workload is durably written to disk (atomic rename), and
-  ``policy.resume=True`` reloads completed rows instead of
-  re-simulating them: a campaign killed with SIGKILL at workload 15/16
-  resumes from workload 16 and produces a result identical to an
+  completed unit is durably written to disk (atomic rename), and
+  ``policy.resume=True`` reloads completed units instead of
+  re-simulating them: a campaign killed with SIGKILL at unit 15/16
+  resumes from unit 16 and produces a result identical to an
   uninterrupted run.
-* **Graceful degradation** — a workload that exhausts its retries is
+* **Graceful degradation** — a unit that exhausts its retries is
   recorded in the result's failure ledger
   (:class:`~repro.fi.campaign.WorkloadFailure`); the campaign completes
-  with partial results instead of discarding the other workloads.
+  with partial results instead of discarding the other units.
 
 Kills stay kills: ``KeyboardInterrupt``/``SystemExit`` always
 propagate, leaving the checkpoint store intact for a later resume.
@@ -30,9 +43,18 @@ from __future__ import annotations
 
 import threading
 import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -51,19 +73,31 @@ from repro.netlist.netlist import Netlist
 from repro.sim.bitparallel import BitParallelSimulator
 from repro.sim.waveform import Workload
 from repro.utils.errors import CampaignError, SimulationError
+from repro.utils.parallel import (
+    auto_shard_size,
+    fork_context,
+    resolve_jobs,
+    shard_bounds,
+)
 from repro.utils.retry import BackoffPolicy, retry_call
 
 
 class PassTimeout(CampaignError):
-    """A workload's fault pass exceeded the runner's timeout."""
+    """A unit's fault pass exceeded the runner's timeout."""
 
 
 @dataclass(frozen=True)
 class RunnerPolicy:
-    """Resilience knobs for one campaign run.
+    """Resilience and throughput knobs for one campaign run.
 
-    The default policy (no timeout, no retries, no checkpointing) makes
-    the runner behave exactly like a plain loop over the workloads.
+    The default policy (no timeout, no retries, no checkpointing, one
+    job, no sharding) makes the runner behave exactly like a plain loop
+    over the workloads.
+
+    ``jobs`` is the worker-process count (``0`` = all cores);
+    ``shard_size`` bounds the faults simulated per unit (``0`` = the
+    whole universe in one shard, ``None``/``"auto"`` = sized so each
+    shard's value matrix fits in cache).
     """
 
     timeout: Optional[float] = None
@@ -71,6 +105,8 @@ class RunnerPolicy:
     backoff: Optional[BackoffPolicy] = None
     checkpoint_dir: Optional[Union[str, Path]] = None
     resume: bool = False
+    jobs: int = 1
+    shard_size: Optional[Union[int, str]] = 0
 
     def __post_init__(self) -> None:
         if self.timeout is not None and self.timeout <= 0:
@@ -83,6 +119,47 @@ class RunnerPolicy:
             raise CampaignError(
                 "resume requires a checkpoint directory"
             )
+        if self.jobs < 0:
+            raise CampaignError(f"jobs {self.jobs} must be >= 0")
+        if isinstance(self.shard_size, str):
+            if self.shard_size != "auto":
+                raise CampaignError(
+                    f"shard_size {self.shard_size!r} must be an "
+                    "integer, 'auto', or None"
+                )
+        elif self.shard_size is not None and self.shard_size < 0:
+            raise CampaignError(
+                f"shard_size {self.shard_size} must be >= 0"
+            )
+
+
+@dataclass
+class _UnitOutcome:
+    """What one supervised (workload, shard) unit actually did."""
+
+    row: int
+    shard: int
+    value: Optional[tuple]          # (error_cycles, detection, latent)
+    status: str                     # "ok" | "error" | "timeout"
+    attempts: int
+    elapsed_seconds: float
+    error: str = ""
+
+
+#: Campaign context inherited by fork workers (netlists are not
+#: picklable, so the pool must fork after this is set).
+_WORKER_RUNNER: Optional["CampaignRunner"] = None
+
+
+def _worker_unit(row: int, shard: int) -> _UnitOutcome:
+    """Pool entry point: run one supervised unit in a fork worker."""
+    runner = _WORKER_RUNNER
+    if runner is None:
+        raise CampaignError(
+            "campaign worker has no inherited context (requires the "
+            "fork start method)"
+        )
+    return runner._run_unit(row, shard)
 
 
 class CampaignRunner:
@@ -90,10 +167,10 @@ class CampaignRunner:
 
     Construction performs every pre-flight check (workload and fault
     universe validation, policy resolution, observation compilation,
-    fault collapsing) so misconfiguration fails before any simulation
-    or checkpoint I/O happens.  :meth:`run` then executes the workload
-    passes under the resilience policy and assembles the
-    :class:`~repro.fi.campaign.CampaignResult`.
+    fault collapsing, shard planning) so misconfiguration fails before
+    any simulation or checkpoint I/O happens.  :meth:`run` then
+    executes the (workload x shard) units under the resilience policy
+    and assembles the :class:`~repro.fi.campaign.CampaignResult`.
     """
 
     def __init__(
@@ -176,78 +253,82 @@ class CampaignRunner:
             [fault.stuck_at for fault in self._simulated],
             dtype=np.uint8,
         )
+        self._shards = shard_bounds(
+            len(self._simulated), self._resolve_shard_size()
+        )
         self._engine: Optional[BitParallelSimulator] = None
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    def _resolve_shard_size(self) -> int:
+        size = self.policy.shard_size
+        if size is None or size == "auto":
+            return auto_shard_size(self.netlist.n_nets)
+        return int(size)
 
     # -- execution -----------------------------------------------------
     def run(self) -> CampaignResult:
         """Execute the campaign under the resilience policy."""
-        from repro.fi.collapse import expand_results
-
         store = self._open_store()
-        completed: Dict[int, dict] = (
+        completed: Dict[Tuple[int, int], dict] = (
             store.open(self.policy.resume) if store is not None else {}
         )
 
         n_workloads = len(self.workloads)
-        n_simulated = len(self._simulated)
-        error_cycles = np.zeros((n_workloads, n_simulated),
+        n_faults = len(self.faults)
+        error_cycles = np.zeros((n_workloads, n_faults),
                                 dtype=np.int64)
-        detection = np.full((n_workloads, n_simulated), -1,
+        detection = np.full((n_workloads, n_faults), -1,
                             dtype=np.int64)
-        latent = np.zeros((n_workloads, n_simulated), dtype=bool)
-        failures: List[WorkloadFailure] = []
+        latent = np.zeros((n_workloads, n_faults), dtype=bool)
+        arrays = (error_cycles, detection, latent)
+
+        failures: List[Tuple[int, int, WorkloadFailure]] = []
         total_elapsed = 0.0
 
-        for row, workload in enumerate(self.workloads):
-            if row in completed:
-                checkpoint = completed[row]
-                error_cycles[row] = checkpoint["error_cycles"]
-                detection[row] = checkpoint["detection_cycle"]
-                latent[row] = checkpoint["latent"]
-                total_elapsed += checkpoint["elapsed_seconds"]
-                continue
+        pending: List[Tuple[int, int]] = []
+        for row in range(n_workloads):
+            for shard in range(self.n_shards):
+                if (row, shard) in completed:
+                    checkpoint = completed[row, shard]
+                    self._scatter(arrays, row, shard, (
+                        checkpoint["error_cycles"],
+                        checkpoint["detection_cycle"],
+                        checkpoint["latent"],
+                    ))
+                    total_elapsed += checkpoint["elapsed_seconds"]
+                else:
+                    pending.append((row, shard))
 
-            started = time.perf_counter()
-            value, outcome = retry_call(
-                lambda workload=workload: self._attempt(workload),
-                retries=self.policy.retries,
-                backoff=self.policy.backoff or BackoffPolicy(),
-                sleep=self._sleep,
+        jobs = resolve_jobs(self.policy.jobs)
+        if jobs > 1 and len(pending) > 1:
+            outcomes = self._parallel_outcomes(pending, jobs)
+        else:
+            outcomes = (
+                self._run_unit(row, shard) for row, shard in pending
             )
-            elapsed = time.perf_counter() - started
-            total_elapsed += elapsed
 
-            if not outcome.succeeded:
-                failures.append(WorkloadFailure(
-                    workload=workload.name,
-                    status=(
-                        "timeout"
-                        if isinstance(outcome.error, PassTimeout)
-                        else "error"
-                    ),
-                    attempts=outcome.attempts,
-                    elapsed_seconds=elapsed,
-                    error=str(outcome.error),
+        for outcome in outcomes:
+            total_elapsed += outcome.elapsed_seconds
+            if outcome.status != "ok":
+                failures.append((
+                    outcome.row, outcome.shard,
+                    self._failure(outcome),
                 ))
                 continue
-
-            row_errors, row_detection, row_latent = value
-            error_cycles[row] = row_errors
-            detection[row] = row_detection
-            latent[row] = row_latent
+            self._scatter(arrays, outcome.row, outcome.shard,
+                          outcome.value)
             if store is not None:
+                row_errors, row_detection, row_latent = outcome.value
                 store.record(
-                    row,
-                    error_cycles=error_cycles[row],
-                    detection_cycle=detection[row],
-                    latent=latent[row],
-                    elapsed_seconds=elapsed,
+                    outcome.row, outcome.shard,
+                    error_cycles=row_errors,
+                    detection_cycle=row_detection,
+                    latent=row_latent,
+                    elapsed_seconds=outcome.elapsed_seconds,
                 )
-
-        if self._universe is not None:
-            error_cycles = expand_results(self._universe, error_cycles)
-            detection = expand_results(self._universe, detection)
-            latent = expand_results(self._universe, latent)
 
         return CampaignResult(
             netlist_name=self.netlist.name,
@@ -261,10 +342,163 @@ class CampaignRunner:
             latent=latent,
             severity=self.severity,
             simulation_seconds=total_elapsed,
-            failures=failures,
+            failures=[entry[2] for entry in sorted(
+                failures, key=lambda entry: (entry[0], entry[1])
+            )],
         )
 
     # -- internals -----------------------------------------------------
+    def _scatter(self, arrays, row: int, shard: int, value) -> None:
+        """Merge one unit's per-representative columns into the full
+        original-fault-axis result matrices (shard-aware expansion)."""
+        from repro.fi.collapse import expand_shard
+
+        bounds = self._shards[shard]
+        if self._universe is None:
+            lo, hi = bounds
+            for target, columns in zip(arrays, value):
+                target[row, lo:hi] = columns
+            return
+        for target, columns in zip(arrays, value):
+            original, expanded = expand_shard(
+                self._universe, bounds, np.asarray(columns)
+            )
+            target[row, original] = expanded
+
+    def _failure(self, outcome: _UnitOutcome) -> WorkloadFailure:
+        workload = self.workloads[outcome.row]
+        error = outcome.error
+        if self.n_shards > 1:
+            lo, hi = self._shards[outcome.shard]
+            error = (
+                f"shard {outcome.shard} (faults {lo}:{hi}): {error}"
+            )
+        return WorkloadFailure(
+            workload=workload.name,
+            status=outcome.status,
+            attempts=outcome.attempts,
+            elapsed_seconds=outcome.elapsed_seconds,
+            error=error,
+        )
+
+    def _parallel_outcomes(
+        self, pending: Sequence[Tuple[int, int]], jobs: int,
+    ):
+        """Fan pending units out over fork worker processes.
+
+        Yields outcomes as units complete so checkpoints land as soon
+        as results exist.  A worker crash (e.g. OOM kill) degrades the
+        affected units into failure-ledger entries instead of aborting
+        the campaign.
+        """
+        global _WORKER_RUNNER
+
+        context = fork_context()
+        if context is None:
+            # No fork on this platform: degrade to in-process execution.
+            for row, shard in pending:
+                yield self._run_unit(row, shard)
+            return
+
+        _WORKER_RUNNER = self
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(pending)),
+                mp_context=context,
+            ) as pool:
+                futures = {
+                    pool.submit(_worker_unit, row, shard): (row, shard)
+                    for row, shard in pending
+                }
+                for future in as_completed(futures):
+                    row, shard = futures[future]
+                    try:
+                        yield future.result()
+                    except (KeyboardInterrupt, SystemExit):
+                        raise
+                    except BaseException as error:  # noqa: BLE001
+                        yield _UnitOutcome(
+                            row=row, shard=shard, value=None,
+                            status="error", attempts=1,
+                            elapsed_seconds=0.0,
+                            error=f"campaign worker died: {error}",
+                        )
+        finally:
+            _WORKER_RUNNER = None
+
+    def _run_unit(self, row: int, shard: int) -> _UnitOutcome:
+        """One supervised unit: retry/timeout around a shard pass."""
+        workload = self.workloads[row]
+        started = time.perf_counter()
+        value, outcome = retry_call(
+            lambda: self._attempt(workload, shard),
+            retries=self.policy.retries,
+            backoff=self.policy.backoff or BackoffPolicy(),
+            sleep=self._sleep,
+        )
+        elapsed = time.perf_counter() - started
+        if outcome.succeeded:
+            return _UnitOutcome(
+                row=row, shard=shard, value=value, status="ok",
+                attempts=outcome.attempts, elapsed_seconds=elapsed,
+            )
+        return _UnitOutcome(
+            row=row, shard=shard, value=None,
+            status=(
+                "timeout"
+                if isinstance(outcome.error, PassTimeout) else "error"
+            ),
+            attempts=outcome.attempts,
+            elapsed_seconds=elapsed,
+            error=str(outcome.error),
+        )
+
+    def _attempt(self, workload: Workload, shard: int):
+        """One supervised fault-pass attempt for one unit."""
+        if self.policy.timeout is None:
+            return self._pass(workload, shard, self._shared_engine())
+        # A timed-out pass leaves its worker thread running; never hand
+        # that zombie's engine to a retry — build a fresh one per try.
+        box: dict = {}
+
+        def target() -> None:
+            try:
+                box["value"] = self._pass(
+                    workload, shard, BitParallelSimulator(self.netlist)
+                )
+            except BaseException as error:  # noqa: BLE001 — relayed
+                box["error"] = error
+
+        worker = threading.Thread(
+            target=target, daemon=True,
+            name=f"fi-pass-{workload.name}-s{shard}",
+        )
+        worker.start()
+        worker.join(self.policy.timeout)
+        if worker.is_alive():
+            raise PassTimeout(
+                f"workload {workload.name!r}: fault pass still "
+                f"running after {self.policy.timeout}s"
+            )
+        if "error" in box:
+            raise box["error"]
+        return box["value"]
+
+    def _pass(self, workload: Workload, shard: int,
+              engine: BitParallelSimulator):
+        lo, hi = self._shards[shard]
+        return engine.run_fault_pass(
+            workload,
+            self._fault_nets[lo:hi],
+            self._fault_values[lo:hi],
+            observation=self._compiled,
+        )
+
+    def _shared_engine(self) -> BitParallelSimulator:
+        if self._engine is None:
+            self._engine = BitParallelSimulator(self.netlist)
+        return self._engine
+
     def _open_store(self) -> Optional[CheckpointStore]:
         if self.policy.checkpoint_dir is None:
             return None
@@ -282,46 +516,5 @@ class CampaignRunner:
             netlist_name=self.netlist.name,
             workload_names=[w.name for w in self.workloads],
             n_faults=len(self._simulated),
+            shard_bounds=self._shards,
         )
-
-    def _attempt(self, workload: Workload):
-        """One supervised fault-pass attempt for one workload."""
-        if self.policy.timeout is None:
-            return self._pass(workload, self._shared_engine())
-        # A timed-out pass leaves its worker thread running; never hand
-        # that zombie's engine to a retry — build a fresh one per try.
-        box: dict = {}
-
-        def target() -> None:
-            try:
-                box["value"] = self._pass(
-                    workload, BitParallelSimulator(self.netlist)
-                )
-            except BaseException as error:  # noqa: BLE001 — relayed
-                box["error"] = error
-
-        worker = threading.Thread(
-            target=target, daemon=True,
-            name=f"fi-pass-{workload.name}",
-        )
-        worker.start()
-        worker.join(self.policy.timeout)
-        if worker.is_alive():
-            raise PassTimeout(
-                f"workload {workload.name!r}: fault pass still "
-                f"running after {self.policy.timeout}s"
-            )
-        if "error" in box:
-            raise box["error"]
-        return box["value"]
-
-    def _pass(self, workload: Workload, engine: BitParallelSimulator):
-        return engine.run_fault_pass(
-            workload, self._fault_nets, self._fault_values,
-            observation=self._compiled,
-        )
-
-    def _shared_engine(self) -> BitParallelSimulator:
-        if self._engine is None:
-            self._engine = BitParallelSimulator(self.netlist)
-        return self._engine

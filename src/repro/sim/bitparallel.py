@@ -12,6 +12,13 @@ evaluation a handful of vectorized numpy operations.
 The schedule is levelized and type-grouped: gates of the same cell type
 on the same topological level evaluate together as one gather/compute/
 scatter step.
+
+The inner loop is allocation-free on the hot path: per-word-width
+scratch buffers (gathers, output comparison, mismatch masks) are built
+once and reused across cycles, constant-cell outputs are evaluated once
+per pass, fault forcing masks are gathered per group once per pass, and
+per-machine error-cycle counts accumulate by popcounting chunks of
+packed mismatch words instead of unpacking every mismatch cycle.
 """
 
 from __future__ import annotations
@@ -28,6 +35,10 @@ from repro.utils.errors import SimulationError
 
 ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
 ZERO = np.uint64(0)
+
+#: Mismatch rows buffered between popcount flushes (64 words * 8 bytes
+#: per row keeps the buffer a few hundred KiB even for huge universes).
+MISMATCH_CHUNK = 256
 
 
 @dataclass
@@ -67,12 +78,159 @@ class GoldenStats:
         return self.transition_count / denominator
 
 
+class _PassScratch:
+    """Reusable per-word-width buffers for one simulator.
+
+    Everything here depends only on the schedule and the machine-word
+    count ``n_words``, so a scratch set is built once per width and
+    reused by every cycle of every pass at that width (the campaign
+    runner replays many workloads against same-sized shards).
+    """
+
+    def __init__(self, sim: "BitParallelSimulator", n_words: int):
+        self.n_words = n_words
+        self.comb_gather: List[Optional[np.ndarray]] = []
+        self.const_out: List[Optional[np.ndarray]] = []
+        for cell, out_idx, in_idx in sim._comb_groups:
+            if in_idx.shape[1] == 0:
+                self.comb_gather.append(None)
+                constant = cell.function([], ONES)
+                self.const_out.append(np.full(
+                    (len(out_idx), n_words), constant, dtype=np.uint64,
+                ))
+            else:
+                self.comb_gather.append(np.empty(
+                    in_idx.shape + (n_words,), dtype=np.uint64,
+                ))
+                self.const_out.append(None)
+        self.flop_gather: List[np.ndarray] = [
+            np.empty(in_idx.shape + (n_words,), dtype=np.uint64)
+            for _, _, in_idx in sim._flop_groups
+        ]
+        n_outputs = len(sim._po_idx)
+        self.po = np.empty((n_outputs, n_words), dtype=np.uint64)
+        self.golden_broadcast = np.empty(
+            (n_outputs, n_words), dtype=np.uint64
+        )
+        self.diff = np.empty((n_outputs, n_words), dtype=np.uint64)
+        self.mismatch = np.empty(n_words, dtype=np.uint64)
+
+
+class _FaultMasks:
+    """Per-pass fault forcing, pre-gathered per schedule group.
+
+    The packed ``clear``/``force`` matrices are constant over a pass, so
+    the per-group rows the inner loop needs are gathered once here —
+    groups with no faulted output skip masking entirely (``None``), and
+    constant cells collapse to a single pre-masked output array.
+    """
+
+    def __init__(self, sim: "BitParallelSimulator", clear: np.ndarray,
+                 force: np.ndarray, scratch: _PassScratch):
+        self.comb: List[Optional[Tuple[np.ndarray, np.ndarray]]] = []
+        self.const_out: List[Optional[np.ndarray]] = []
+        for index, (_, out_idx, in_idx) in enumerate(sim._comb_groups):
+            rows = clear[out_idx]
+            masked = (rows.any(), np.bitwise_not(rows), force[out_idx])
+            if in_idx.shape[1] == 0:
+                base = scratch.const_out[index]
+                self.const_out.append(
+                    (base & masked[1]) | masked[2]
+                    if masked[0] else base
+                )
+                self.comb.append(None)
+            else:
+                self.const_out.append(None)
+                self.comb.append(
+                    (masked[1], masked[2]) if masked[0] else None
+                )
+        self.flops: List[Optional[Tuple[np.ndarray, np.ndarray]]] = []
+        for _, out_idx, _ in sim._flop_groups:
+            rows = clear[out_idx]
+            self.flops.append(
+                (np.bitwise_not(rows), force[out_idx])
+                if rows.any() else None
+            )
+
+
+class MismatchAccumulator:
+    """Streaming golden-vs-faulty mismatch accounting.
+
+    Shared by the stuck-at and transient passes so both get the same
+    optimized bookkeeping: per-cycle packed mismatch masks are buffered
+    and *popcounted in chunks* (one ``unpackbits`` + column sum per
+    :data:`MISMATCH_CHUNK` mismatch cycles) instead of being expanded to
+    a boolean machine vector on every mismatch cycle, and first-detection
+    cycles are scattered with one vectorized assignment per cycle rather
+    than a per-machine Python loop.
+    """
+
+    def __init__(self, n_machines: int, n_words: int):
+        self.n_machines = n_machines
+        self.n_words = n_words
+        self.seen = np.zeros(n_words, dtype=np.uint64)
+        self.detection_cycle = np.full(n_machines - 1, -1,
+                                       dtype=np.int64)
+        self._counts = np.zeros(n_words * 64, dtype=np.int64)
+        self._chunk = np.zeros((MISMATCH_CHUNK, n_words),
+                               dtype=np.uint64)
+        self._fill = 0
+        self._new = np.empty(n_words, dtype=np.uint64)
+
+    def record(self, mismatch: np.ndarray, cycle: int) -> None:
+        """Account one cycle's packed mismatch mask."""
+        if not mismatch.any():
+            return
+        if self._fill == MISMATCH_CHUNK:
+            self._flush()
+        self._chunk[self._fill] = mismatch
+        self._fill += 1
+
+        new = self._new
+        np.bitwise_not(self.seen, out=new)
+        np.bitwise_and(mismatch, new, out=new)
+        if new.any():
+            np.bitwise_or(self.seen, mismatch, out=self.seen)
+            machines = np.flatnonzero(np.unpackbits(
+                new.view(np.uint8), bitorder="little"
+            ))
+            machines = machines[
+                (machines > 0) & (machines < self.n_machines)
+            ]
+            self.detection_cycle[machines - 1] = cycle
+
+    def _flush(self) -> None:
+        if not self._fill:
+            return
+        bits = np.unpackbits(
+            self._chunk[: self._fill].view(np.uint8),
+            axis=1, bitorder="little",
+        )
+        self._counts += bits.sum(axis=0, dtype=np.int64)
+        self._fill = 0
+
+    @property
+    def golden_diverged(self) -> bool:
+        """True when the golden machine mismatched itself (engine bug)."""
+        return bool(self.seen[0] & np.uint64(1))
+
+    def error_cycles(self) -> np.ndarray:
+        """Per-fault count of mismatch cycles (flushes the chunk)."""
+        self._flush()
+        return self._counts[1: self.n_machines]
+
+    def observed(self) -> np.ndarray:
+        """Per-fault flags: at least one mismatch cycle ever occurred."""
+        return _machine_flags(self.seen, self.n_machines)[1:]
+
+
 class BitParallelSimulator:
     """Levelized, type-grouped, machine-parallel simulator."""
 
     def __init__(self, netlist: Netlist):
         self.netlist = netlist
         self._build_schedule()
+        self._scratch_cache: Dict[int, _PassScratch] = {}
 
     # ------------------------------------------------------------------
     # schedule construction
@@ -128,6 +286,13 @@ class BitParallelSimulator:
             dtype=np.intp,
         )
 
+    def _scratch(self, n_words: int) -> _PassScratch:
+        scratch = self._scratch_cache.get(n_words)
+        if scratch is None:
+            scratch = _PassScratch(self, n_words)
+            self._scratch_cache[n_words] = scratch
+        return scratch
+
     # ------------------------------------------------------------------
     # inner loops
     # ------------------------------------------------------------------
@@ -141,51 +306,100 @@ class BitParallelSimulator:
     def _settle(
         self,
         values: np.ndarray,
-        clear: Optional[np.ndarray],
-        force: Optional[np.ndarray],
+        masks: Optional[_FaultMasks],
+        scratch: _PassScratch,
     ) -> None:
         """Evaluate all combinational groups in level order."""
-        for cell, out_idx, in_idx in self._comb_groups:
+        for index, (cell, out_idx, in_idx) in enumerate(
+            self._comb_groups
+        ):
             if in_idx.shape[1] == 0:
-                constant = cell.function([], ONES)
-                out = np.full(
-                    (len(out_idx), values.shape[1]), constant,
-                    dtype=np.uint64,
+                values[out_idx] = (
+                    masks.const_out[index] if masks is not None
+                    else scratch.const_out[index]
                 )
-            else:
-                ins = values[in_idx]  # (g, k, W)
-                out = cell.function(
-                    [ins[:, position] for position in range(in_idx.shape[1])],
-                    ONES,
-                )
-            if clear is not None:
-                out = (out & ~clear[out_idx]) | force[out_idx]
+                continue
+            gather = scratch.comb_gather[index]
+            np.take(values, in_idx, axis=0, out=gather)
+            out = cell.function(
+                [gather[:, position]
+                 for position in range(in_idx.shape[1])],
+                ONES,
+            )
+            if masks is not None and masks.comb[index] is not None:
+                keep, forced = masks.comb[index]
+                out &= keep
+                out |= forced
             values[out_idx] = out
 
     def _commit(
         self,
         values: np.ndarray,
-        clear: Optional[np.ndarray],
-        force: Optional[np.ndarray],
+        masks: Optional[_FaultMasks],
+        scratch: _PassScratch,
     ) -> None:
         """Compute and commit all flip-flop next-states."""
         staged: List[Tuple[np.ndarray, np.ndarray]] = []
-        for cell, out_idx, in_idx in self._flop_groups:
-            ins = values[in_idx]
+        for index, (cell, out_idx, in_idx) in enumerate(
+            self._flop_groups
+        ):
+            gather = scratch.flop_gather[index]
+            np.take(values, in_idx, axis=0, out=gather)
             out = cell.function(
-                [ins[:, position] for position in range(in_idx.shape[1])],
+                [gather[:, position]
+                 for position in range(in_idx.shape[1])],
                 ONES,
             )
+            if masks is not None and masks.flops[index] is not None:
+                keep, forced = masks.flops[index]
+                out &= keep
+                out |= forced
             staged.append((out_idx, out))
         for out_idx, out in staged:
-            if clear is not None:
-                out = (out & ~clear[out_idx]) | force[out_idx]
             values[out_idx] = out
 
-    def _apply_inputs(self, values: np.ndarray, row: np.ndarray) -> None:
-        bits = row.astype(bool)
+    def _apply_inputs(self, values: np.ndarray, bits: np.ndarray) -> None:
         # (n_pi, 1) broadcasts across all machine words on assignment.
         values[self._pi_idx] = np.where(bits[:, None], ONES, ZERO)
+
+    def _compare_outputs(
+        self, values: np.ndarray, observation, scratch: _PassScratch,
+    ) -> np.ndarray:
+        """One cycle's packed mismatch mask (a view into scratch)."""
+        mismatch = scratch.mismatch
+        if not len(self._po_idx):
+            mismatch[:] = ZERO
+            return mismatch
+        np.take(values, self._po_idx, axis=0, out=scratch.po)
+        golden_bits = (scratch.po[:, 0] & np.uint64(1)).astype(bool)
+        broadcast = scratch.golden_broadcast
+        broadcast[:] = ZERO
+        broadcast[golden_bits] = ONES
+        np.bitwise_xor(scratch.po, broadcast, out=scratch.diff)
+        if observation is not None:
+            compare = observation.compare_mask(golden_bits)
+            np.bitwise_or.reduce(
+                scratch.diff, axis=0, out=mismatch,
+                where=compare[:, None], initial=0,
+            )
+        else:
+            np.bitwise_or.reduce(scratch.diff, axis=0, out=mismatch)
+        return mismatch
+
+    def _latent_flags(
+        self, values: np.ndarray, n_machines: int,
+        observed: np.ndarray,
+    ) -> np.ndarray:
+        """End-of-run state corruption that never reached an output."""
+        if not len(self._flop_out_idx):
+            return np.zeros(n_machines - 1, dtype=bool)
+        state = values[self._flop_out_idx]
+        golden_state = (state[:, 0] & np.uint64(1)).astype(bool)
+        state_diff = np.bitwise_or.reduce(
+            state ^ np.where(golden_state[:, None], ONES, ZERO), axis=0
+        )
+        corrupted = _machine_flags(state_diff, n_machines)[1:]
+        return corrupted & ~observed
 
     # ------------------------------------------------------------------
     # golden runs
@@ -196,14 +410,16 @@ class BitParallelSimulator:
         ones_count = np.zeros(n_nets, dtype=np.int64)
         transition_count = np.zeros(n_nets, dtype=np.int64)
         total_cycles = 0
+        scratch = self._scratch(1)
         for workload in workloads:
             self._check_workload(workload)
             values = np.zeros((n_nets, 1), dtype=np.uint64)
+            stimulus = workload.vectors.astype(bool)
             previous: Optional[np.ndarray] = None
             for cycle in range(workload.cycles):
-                self._apply_inputs(values, workload.vectors[cycle])
-                self._settle(values, None, None)
-                self._commit(values, None, None)
+                self._apply_inputs(values, stimulus[cycle])
+                self._settle(values, None, scratch)
+                self._commit(values, None, scratch)
                 bits = (values[:, 0] & np.uint64(1)).astype(np.int64)
                 ones_count += bits
                 if previous is not None:
@@ -227,13 +443,15 @@ class BitParallelSimulator:
         values = np.zeros((self.netlist.n_nets, 1), dtype=np.uint64)
         outputs = np.zeros((workload.cycles, len(self._po_idx)),
                            dtype=np.uint8)
+        scratch = self._scratch(1)
+        stimulus = workload.vectors.astype(bool)
         for cycle in range(workload.cycles):
-            self._apply_inputs(values, workload.vectors[cycle])
-            self._settle(values, None, None)
+            self._apply_inputs(values, stimulus[cycle])
+            self._settle(values, None, scratch)
             outputs[cycle] = (
                 values[self._po_idx, 0] & np.uint64(1)
             ).astype(np.uint8)
-            self._commit(values, None, None)
+            self._commit(values, None, scratch)
         return outputs
 
     # ------------------------------------------------------------------
@@ -284,61 +502,33 @@ class BitParallelSimulator:
             bit_masks[stuck_one],
         )
 
+        scratch = self._scratch(n_words)
+        masks = _FaultMasks(self, clear, force, scratch)
+        accumulator = MismatchAccumulator(n_machines, n_words)
+
         # The stuck value holds from t=0: faulty nets (notably flop
         # outputs, whose forcing is otherwise applied at commit time)
         # start at their forced state rather than the reset state.
         values = force.copy()
-        seen = np.zeros(n_words, dtype=np.uint64)
-        detection_cycle = np.full(n_faults, -1, dtype=np.int64)
-        error_cycles = np.zeros(n_machines, dtype=np.int64)
+        stimulus = workload.vectors.astype(bool)
 
         for cycle in range(workload.cycles):
-            self._apply_inputs(values, workload.vectors[cycle])
-            self._settle(values, clear, force)
+            self._apply_inputs(values, stimulus[cycle])
+            self._settle(values, masks, scratch)
+            mismatch = self._compare_outputs(values, observation,
+                                             scratch)
+            accumulator.record(mismatch, cycle)
+            self._commit(values, masks, scratch)
 
-            po_values = values[self._po_idx]  # (p, W)
-            golden_bits = (po_values[:, 0] & np.uint64(1)).astype(bool)
-            golden_broadcast = np.where(golden_bits[:, None], ONES, ZERO)
-            difference = po_values ^ golden_broadcast
-            if observation is not None:
-                compare = observation.compare_mask(golden_bits)
-                difference = difference[compare]
-            mismatch = (
-                np.bitwise_or.reduce(difference, axis=0)
-                if len(difference) else np.zeros_like(seen)
-            )
-            if mismatch.any():
-                error_cycles += _machine_flags(mismatch, n_machines)
-                new = mismatch & ~seen
-                if new.any():
-                    seen |= mismatch
-                    for machine_index in _machines_from_mask(new):
-                        if machine_index > 0:
-                            detection_cycle[machine_index - 1] = cycle
-
-            self._commit(values, clear, force)
-
-        if bool(seen[0] & np.uint64(1)):
+        if accumulator.golden_diverged:
             raise SimulationError(
                 "golden machine diverged from itself — engine bug"
             )
 
-        observed = _machine_flags(seen, n_machines)[1:]
-
-        # Latent corruption: faulty state differs from golden at the end
-        # but no output ever mismatched.
-        if len(self._flop_out_idx):
-            state = values[self._flop_out_idx]
-            golden_state = (state[:, 0] & np.uint64(1)).astype(bool)
-            state_diff = np.bitwise_or.reduce(
-                state ^ np.where(golden_state[:, None], ONES, ZERO), axis=0
-            )
-            corrupted = _machine_flags(state_diff, n_machines)[1:]
-        else:
-            corrupted = np.zeros(n_faults, dtype=bool)
-        latent = corrupted & ~observed
-        return error_cycles[1:], detection_cycle, latent
-
+        observed = accumulator.observed()
+        latent = self._latent_flags(values, n_machines, observed)
+        return (accumulator.error_cycles(),
+                accumulator.detection_cycle, latent)
 
     # ------------------------------------------------------------------
     # transient (SEU) campaign
@@ -388,10 +578,10 @@ class BitParallelSimulator:
                 )
             flips_at.setdefault(cycle, []).append(fault_index)
 
+        scratch = self._scratch(n_words)
+        accumulator = MismatchAccumulator(n_machines, n_words)
         values = np.zeros((n_nets, n_words), dtype=np.uint64)
-        seen = np.zeros(n_words, dtype=np.uint64)
-        detection_cycle = np.full(n_faults, -1, dtype=np.int64)
-        error_cycles = np.zeros(n_machines, dtype=np.int64)
+        stimulus = workload.vectors.astype(bool)
 
         for cycle in range(workload.cycles):
             for fault_index in flips_at.get(cycle, ()):
@@ -399,49 +589,22 @@ class BitParallelSimulator:
                 word = int(words[fault_index])
                 values[net, word] ^= bit_masks[fault_index]
 
-            self._apply_inputs(values, workload.vectors[cycle])
-            self._settle(values, None, None)
+            self._apply_inputs(values, stimulus[cycle])
+            self._settle(values, None, scratch)
+            mismatch = self._compare_outputs(values, observation,
+                                             scratch)
+            accumulator.record(mismatch, cycle)
+            self._commit(values, None, scratch)
 
-            po_values = values[self._po_idx]
-            golden_bits = (po_values[:, 0] & np.uint64(1)).astype(bool)
-            golden_broadcast = np.where(golden_bits[:, None], ONES, ZERO)
-            difference = po_values ^ golden_broadcast
-            if observation is not None:
-                compare = observation.compare_mask(golden_bits)
-                difference = difference[compare]
-            mismatch = (
-                np.bitwise_or.reduce(difference, axis=0)
-                if len(difference) else np.zeros_like(seen)
-            )
-            if mismatch.any():
-                error_cycles += _machine_flags(mismatch, n_machines)
-                new = mismatch & ~seen
-                if new.any():
-                    seen |= mismatch
-                    for machine_index in _machines_from_mask(new):
-                        if machine_index > 0:
-                            detection_cycle[machine_index - 1] = cycle
-
-            self._commit(values, None, None)
-
-        if bool(seen[0] & np.uint64(1)):
+        if accumulator.golden_diverged:
             raise SimulationError(
                 "golden machine diverged from itself — engine bug"
             )
 
-        observed = _machine_flags(seen, n_machines)[1:]
-        if len(self._flop_out_idx):
-            state = values[self._flop_out_idx]
-            golden_state = (state[:, 0] & np.uint64(1)).astype(bool)
-            state_diff = np.bitwise_or.reduce(
-                state ^ np.where(golden_state[:, None], ONES, ZERO),
-                axis=0,
-            )
-            corrupted = _machine_flags(state_diff, n_machines)[1:]
-        else:
-            corrupted = np.zeros(n_faults, dtype=bool)
-        latent = corrupted & ~observed
-        return error_cycles[1:], detection_cycle, latent
+        observed = accumulator.observed()
+        latent = self._latent_flags(values, n_machines, observed)
+        return (accumulator.error_cycles(),
+                accumulator.detection_cycle, latent)
 
 
 def _machine_flags(mask_words: np.ndarray, n_machines: int) -> np.ndarray:

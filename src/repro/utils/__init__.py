@@ -4,6 +4,12 @@ error types."""
 from repro.utils.rng import SeedSequence, derive_rng, rng_from_seed
 from repro.utils.timing import Stopwatch
 from repro.utils.retry import BackoffPolicy, RetryOutcome, retry_call
+from repro.utils.parallel import (
+    auto_shard_size,
+    fork_context,
+    resolve_jobs,
+    shard_bounds,
+)
 from repro.utils.errors import (
     CampaignError,
     ModelError,
@@ -21,6 +27,10 @@ __all__ = [
     "BackoffPolicy",
     "RetryOutcome",
     "retry_call",
+    "auto_shard_size",
+    "fork_context",
+    "resolve_jobs",
+    "shard_bounds",
     "ReproError",
     "NetlistError",
     "SimulationError",
