@@ -68,6 +68,15 @@ def cmd_analyze(args) -> int:
     print("\nCriticality-score regression:")
     for key, value in quality.items():
         print(f"  {key}: {value:.3f}")
+    if args.explain_sample:
+        nodes = analyzer.sample_explain_nodes(
+            per_class=args.explain_sample
+        )
+        print(f"\nGNNExplainer sample ({len(nodes)} held-out nodes, "
+              "both predicted classes):")
+        for report in analyzer.node_report(nodes, jobs=args.jobs):
+            print(render_table([report.as_row()],
+                               title=f"Node {report.node_name}"))
     if args.save_campaign:
         from repro.io import save_campaign
 
@@ -118,13 +127,18 @@ def cmd_campaign(args) -> int:
 
 def cmd_explain(args) -> int:
     analyzer = _make_analyzer(args)
-    nodes = args.nodes
+    nodes = list(args.nodes)
     if not nodes:
-        import numpy as np
-
-        validation = np.flatnonzero(analyzer.split.val_mask)[:3]
-        nodes = [analyzer.data.node_names[int(i)] for i in validation]
-    for report in analyzer.node_report(list(nodes)):
+        indices = analyzer.sample_explain_nodes()
+        nodes = [analyzer.data.node_names[i] for i in indices]
+    if args.batch_size is not None and args.batch_size < 1:
+        print(f"error: --batch-size {args.batch_size} must be >= 1",
+              file=sys.stderr)
+        return 2
+    if args.batch_size is not None:
+        analyzer.explainer.batch_size = args.batch_size
+    reports = analyzer.node_report(nodes, jobs=args.jobs)
+    for report in reports:
         print(render_table([report.as_row()],
                            title=f"Node {report.node_name}"))
     return 0
@@ -239,6 +253,15 @@ def main(argv=None) -> int:
     _add_common(analyze)
     analyze.add_argument("--save-campaign", metavar="FILE.npz",
                          help="persist the FI campaign result")
+    analyze.add_argument("--explain-sample", type=int, default=0,
+                         metavar="N",
+                         help="also explain a deterministic sample of "
+                              "up to N Critical and N Non-critical "
+                              "held-out nodes (0 = skip)")
+    analyze.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes for the explainer "
+                              "fan-out (0 = all cores; results are "
+                              "identical to --jobs 1)")
 
     campaign = commands.add_parser("campaign", help="FI campaign only")
     _add_common(campaign)
@@ -276,7 +299,18 @@ def main(argv=None) -> int:
                                   help="per-node explanations")
     _add_common(explain)
     explain.add_argument("nodes", nargs="*", metavar="NODE",
-                         help="node names (default: 3 held-out nodes)")
+                         help="node names (default: a deterministic "
+                              "sample of held-out nodes covering both "
+                              "predicted classes)")
+    explain.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes for explanation "
+                              "batches (0 = all cores; results are "
+                              "bitwise identical to --jobs 1)")
+    explain.add_argument("--batch-size", type=int, default=None,
+                         metavar="K",
+                         help="nodes per block-diagonal optimization "
+                              "batch (default: explainer's built-in; "
+                              "results are identical for any K)")
 
     verilog = commands.add_parser("verilog",
                                   help="export structural Verilog")

@@ -52,6 +52,7 @@ from repro.models import (
 from repro.netlist.netlist import Netlist
 from repro.sim import Workload, design_workloads
 from repro.utils.errors import ModelError
+from repro.utils.rng import derive_rng
 
 
 @dataclass
@@ -275,13 +276,42 @@ class FaultCriticalityAnalyzer:
             ),
         }
 
-    def explain_nodes(self, nodes: Sequence["str | int"]
+    def explain_nodes(self, nodes: Sequence["str | int"],
+                      jobs: int = 1,
+                      batch_size: Optional[int] = None,
                       ) -> List[Explanation]:
-        """Per-node GNNExplainer interpretations."""
-        return self.explainer.explain_many(nodes)
+        """Per-node GNNExplainer interpretations.
+
+        ``jobs`` fans the explainer's block-diagonal batches out over
+        fork workers (0 = all cores); ``batch_size`` caps nodes per
+        batch.  Results are identical for every combination.
+        """
+        return self.explainer.explain_many(
+            nodes, jobs=jobs, batch_size=batch_size
+        )
+
+    def sample_explain_nodes(self, per_class: int = 3) -> List[int]:
+        """A deterministic held-out node sample covering both predicted
+        classes — what ``repro explain`` runs when no nodes are named.
+
+        Up to ``per_class`` Critical and ``per_class`` Non-critical
+        validation nodes, drawn from a seed-derived stream so the
+        sample is stable across runs of the same configuration.
+        """
+        predictions = self.classifier.predict()
+        candidates = np.flatnonzero(self.split.val_mask)
+        rng = derive_rng(self.config.seed, "explain-sample")
+        chosen: List[int] = []
+        for label in (1, 0):
+            pool = candidates[predictions[candidates] == label]
+            if len(pool) > per_class:
+                pool = np.sort(rng.choice(pool, per_class,
+                                          replace=False))
+            chosen.extend(int(node) for node in pool)
+        return chosen
 
     def global_importance(
-        self, sample: int = 40
+        self, sample: int = 40, jobs: int = 1
     ) -> GlobalImportance:
         """Aggregated feature importance over ``sample`` held-out nodes
         (Eq. 3 / Figure 5b)."""
@@ -289,16 +319,19 @@ class FaultCriticalityAnalyzer:
         rng = np.random.default_rng(self.config.seed)
         if len(candidates) > sample:
             candidates = rng.choice(candidates, sample, replace=False)
-        explanations = self.explain_nodes([int(c) for c in candidates])
+        explanations = self.explain_nodes(
+            [int(c) for c in candidates], jobs=jobs
+        )
         return aggregate_importance(explanations)
 
-    def node_report(self, nodes: Sequence["str | int"]) -> List[NodeReport]:
+    def node_report(self, nodes: Sequence["str | int"],
+                    jobs: int = 1) -> List[NodeReport]:
         """Table 2 rows: classification, feature importances, predicted
         criticality score — for the named nodes."""
         data = self.data
         predictions = self.classifier.predict()
         scores = self.regressor.predict()
-        explanations = self.explain_nodes(nodes)
+        explanations = self.explain_nodes(nodes, jobs=jobs)
         reports: List[NodeReport] = []
         for node, explanation in zip(nodes, explanations):
             index = (

@@ -102,7 +102,10 @@ class Cell:
             for bit, probability in zip(bits, input_probabilities):
                 term *= probability if bit else (1.0 - probability)
             total += term
-        return total
+        # Minterm accumulation can overshoot 1.0 by an ulp (e.g. ND4
+        # with mixed 0/irrational inputs); the true value is a
+        # probability, so clamp the rounding error away.
+        return min(1.0, max(0.0, total))
 
 
 def _ports(count: int) -> Tuple[str, ...]:

@@ -16,6 +16,7 @@ from repro.nn.modules import (
     Sequential,
     Sigmoid,
     Tanh,
+    functional_plan,
 )
 from repro.nn.optim import SGD, Adam, Optimizer
 from repro.nn.training import (
@@ -44,6 +45,7 @@ __all__ = [
     "Sequential",
     "Sigmoid",
     "Tanh",
+    "functional_plan",
     "SGD",
     "Adam",
     "Optimizer",

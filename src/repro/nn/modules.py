@@ -295,6 +295,34 @@ class LogSoftmax(Module):
         return grad - softmax * grad.sum(axis=1, keepdims=True)
 
 
+def functional_plan(model: "Sequential") -> List[tuple]:
+    """Extract a functional description of a trained GCN stack.
+
+    Returns one tuple per layer — ``("gcn", weight, bias)``,
+    ``("relu",)``, ``("identity",)`` (dropout in eval mode) or
+    ``("logsoftmax",)`` — referencing the live parameter arrays, so a
+    caller can re-execute the stack under a *different* propagation
+    matrix (e.g. a masked subgraph) without mutating module state.
+    Used by the GNNExplainer's batched mask optimizer.
+    """
+    plan: List[tuple] = []
+    for module in model.modules:
+        if isinstance(module, GCNConv):
+            bias = module.bias.value if module.bias is not None else None
+            plan.append(("gcn", module.weight.value, bias))
+        elif isinstance(module, ReLU):
+            plan.append(("relu",))
+        elif isinstance(module, Dropout):
+            plan.append(("identity",))  # eval mode
+        elif isinstance(module, LogSoftmax):
+            plan.append(("logsoftmax",))
+        else:
+            raise ModelError(
+                f"no functional plan for layer {type(module).__name__}"
+            )
+    return plan
+
+
 class Sequential(Module):
     """Chain of modules applied in order."""
 

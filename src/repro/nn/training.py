@@ -50,13 +50,51 @@ class TrainingHistory:
     best_val_metric: float = -np.inf
 
 
-def _snapshot(model: Module) -> List[np.ndarray]:
-    return [parameter.value.copy() for parameter in model.parameters()]
+class _BestWeights:
+    """Lazy best-epoch weight snapshot for early stopping.
 
+    Copying every improving epoch is wasted work: the weights only
+    need preserving if a *later* step is about to overwrite them while
+    they are still the restore candidate.  So an improvement merely
+    flags the live weights as best, and the actual copy happens at the
+    start of the next optimizer step — into reused buffers, so a long
+    improvement streak costs ``copyto`` traffic but zero allocation.
+    If training ends while the flag is set, the live weights already
+    ARE the best and the restore is a no-op.
+    """
 
-def _restore(model: Module, snapshot: List[np.ndarray]) -> None:
-    for parameter, value in zip(model.parameters(), snapshot):
-        parameter.value[:] = value
+    def __init__(self, model: Module):
+        self._model = model
+        self._snapshot: Optional[List[np.ndarray]] = None
+        self._pending = False
+
+    def mark_improved(self) -> None:
+        """The weights currently in the model are the new best."""
+        self._pending = True
+
+    def before_step(self) -> None:
+        """Capture the pending best before the optimizer mutates it."""
+        if self._pending:
+            if self._snapshot is None:
+                self._snapshot = [
+                    parameter.value.copy()
+                    for parameter in self._model.parameters()
+                ]
+            else:
+                for buffer, parameter in zip(
+                    self._snapshot, self._model.parameters()
+                ):
+                    np.copyto(buffer, parameter.value)
+            self._pending = False
+
+    def restore(self) -> None:
+        """Put the best-epoch weights back into the model."""
+        if self._pending or self._snapshot is None:
+            return  # live weights are already the best (or no epochs ran)
+        for parameter, value in zip(
+            self._model.parameters(), self._snapshot
+        ):
+            parameter.value[:] = value
 
 
 def train_classifier(
@@ -84,7 +122,7 @@ def train_classifier(
         counts[counts == 0.0] = 1.0
         class_weights = counts.sum() / (len(counts) * counts)
 
-    best_weights = _snapshot(model)
+    best = _BestWeights(model)
     stale = 0
     for epoch in range(config.epochs):
         model.train()
@@ -93,6 +131,7 @@ def train_classifier(
         loss, grad = nll_loss(log_probs, targets, mask=train_mask,
                               class_weights=class_weights)
         model.backward(grad)
+        best.before_step()
         optimizer.step()
 
         model.eval()
@@ -116,14 +155,14 @@ def train_classifier(
         if metric > history.best_val_metric:
             history.best_val_metric = metric
             history.best_epoch = epoch
-            best_weights = _snapshot(model)
+            best.mark_improved()
             stale = 0
         else:
             stale += 1
             if config.patience and stale >= config.patience:
                 break
 
-    _restore(model, best_weights)
+    best.restore()
     model.eval()
     return history
 
@@ -146,7 +185,7 @@ def train_regressor(
     history = TrainingHistory()
     monitor_mask = val_mask if val_mask is not None else train_mask
 
-    best_weights = _snapshot(model)
+    best = _BestWeights(model)
     stale = 0
     for epoch in range(config.epochs):
         model.train()
@@ -154,6 +193,7 @@ def train_regressor(
         predictions = model.forward(x)
         loss, grad = mse_loss(predictions, targets, mask=train_mask)
         model.backward(grad)
+        best.before_step()
         optimizer.step()
 
         model.eval()
@@ -168,13 +208,13 @@ def train_regressor(
         if metric > history.best_val_metric:
             history.best_val_metric = metric
             history.best_epoch = epoch
-            best_weights = _snapshot(model)
+            best.mark_improved()
             stale = 0
         else:
             stale += 1
             if config.patience and stale >= config.patience:
                 break
 
-    _restore(model, best_weights)
+    best.restore()
     model.eval()
     return history

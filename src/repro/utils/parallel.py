@@ -13,9 +13,13 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import List, Optional, Tuple
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.utils.errors import CampaignError
+
+_UnitT = TypeVar("_UnitT")
+_ResultT = TypeVar("_ResultT")
 
 #: Cache budget for one shard's value matrix.  Sized for a typical
 #: desktop L2 (per-core) so the gather/scatter inner loop stays
@@ -69,6 +73,33 @@ def shard_bounds(n_items: int, shard_size: int) -> List[Tuple[int, int]]:
         (start, min(start + shard_size, n_items))
         for start in range(0, n_items, shard_size)
     ]
+
+
+def map_in_forks(
+    worker: Callable[[_UnitT], _ResultT],
+    units: Sequence[_UnitT],
+    jobs: int,
+) -> List[_ResultT]:
+    """``[worker(unit) for unit in units]`` over fork worker processes.
+
+    Results come back in ``units`` order.  ``worker`` must be a
+    module-level callable; non-picklable context (netlists, trained
+    models) travels through a module global set before the pool forks,
+    exactly like the campaign runner's ``_WORKER_RUNNER`` pattern.
+    Degrades to in-process execution when ``jobs <= 1``, when there is
+    at most one unit, or on platforms without the fork start method —
+    the in-process path and the fork path are the same per-unit code,
+    so results are identical either way.  Worker exceptions propagate.
+    """
+    jobs = resolve_jobs(jobs)
+    context = fork_context()
+    if jobs <= 1 or len(units) <= 1 or context is None:
+        return [worker(unit) for unit in units]
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(units)), mp_context=context,
+    ) as pool:
+        futures = [pool.submit(worker, unit) for unit in units]
+        return [future.result() for future in futures]
 
 
 def fork_context() -> Optional[multiprocessing.context.BaseContext]:

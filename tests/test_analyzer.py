@@ -87,6 +87,32 @@ class TestEvaluationViews:
         assert importance.n_explanations == 8
         assert len(importance.ranked_features()) == 5
 
+    def test_sample_explain_nodes(self, icfsm_analyzer):
+        sample = icfsm_analyzer.sample_explain_nodes(per_class=2)
+        assert sample == icfsm_analyzer.sample_explain_nodes(per_class=2)
+        validation = np.flatnonzero(icfsm_analyzer.split.val_mask)
+        assert set(sample) <= {int(node) for node in validation}
+        predictions = icfsm_analyzer.classifier.predict()
+        sampled_classes = {int(predictions[node]) for node in sample}
+        present_classes = {int(predictions[node]) for node in validation}
+        assert sampled_classes == present_classes
+        for label in present_classes:
+            count = sum(
+                1 for node in sample if predictions[node] == label
+            )
+            assert count <= 2
+
+    def test_explain_nodes_jobs_match_serial(self, icfsm_analyzer):
+        nodes = icfsm_analyzer.data.node_names[:4]
+        serial = icfsm_analyzer.explain_nodes(nodes)
+        forked = icfsm_analyzer.explain_nodes(
+            nodes, jobs=2, batch_size=2
+        )
+        for left, right in zip(serial, forked):
+            assert np.array_equal(left.feature_scores,
+                                  right.feature_scores)
+            assert left.edge_importance == right.edge_importance
+
 
 def test_config_controls_features(icfsm):
     config = AnalyzerConfig(

@@ -278,6 +278,38 @@ def test_train_classifier_early_stopping_restores_best():
     )
 
 
+def test_lazy_snapshot_restores_exact_best_epoch_weights():
+    """The deferred best-weights snapshot must restore bit-exact
+    best-epoch weights: a run that trains past the best epoch and
+    restores must end with the same parameters as a run stopped right
+    after that epoch (whose live weights ARE the best)."""
+    x, y = separable_data(seed=5)
+    train_mask = np.zeros(len(y), dtype=bool)
+    train_mask[:40] = True
+
+    def build():
+        return Sequential(Linear(4, 4, seed=0), ReLU(),
+                          Linear(4, 2, seed=1), LogSoftmax())
+
+    full = build()
+    history = train_classifier(
+        full, x, y, train_mask, ~train_mask,
+        TrainingConfig(epochs=200, lr=0.05, patience=20),
+    )
+    # Only meaningful if training actually continued past the best
+    # epoch, i.e. the restore path ran.
+    assert history.best_epoch < len(history.train_loss) - 1
+
+    stopped = build()
+    train_classifier(
+        stopped, x, y, train_mask, ~train_mask,
+        TrainingConfig(epochs=history.best_epoch + 1, lr=0.05,
+                       patience=0),
+    )
+    for restored, live in zip(full.parameters(), stopped.parameters()):
+        assert np.array_equal(restored.value, live.value)
+
+
 def test_train_regressor_learns():
     rng = np.random.default_rng(2)
     x = rng.normal(size=(80, 3))
