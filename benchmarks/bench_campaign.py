@@ -49,23 +49,35 @@ SEED_REFERENCE = {
 }
 
 
-def _measure(design, workloads, repeats=3, **campaign_kwargs):
-    """Best-of-N wall clock for one campaign configuration."""
+def _measure_interleaved(design, workloads, configs, repeats=3):
+    """Best-of-N wall clock per configuration, rounds interleaved.
+
+    One full round measures every configuration back to back before
+    the next round starts, so slow host-level drift (thermal
+    throttling, cache pressure from neighbours on a shared box) lands
+    evenly on all configurations instead of on whichever block ran
+    last — on a timeshared single-core host that drift is larger than
+    the differences being measured.
+    """
     from repro.fi import run_campaign
 
-    best = None
-    result = None
+    best = {name: None for name in configs}
+    results = {}
     for _ in range(repeats):
-        started = time.perf_counter()
-        result = run_campaign(design, workloads, **campaign_kwargs)
-        elapsed = time.perf_counter() - started
-        best = elapsed if best is None else min(best, elapsed)
-    assert result is not None and not result.failures
-    return best, result
+        for name, campaign_kwargs in configs.items():
+            started = time.perf_counter()
+            result = run_campaign(design, workloads,
+                                  **campaign_kwargs)
+            elapsed = time.perf_counter() - started
+            assert not result.failures
+            results[name] = result
+            if best[name] is None or elapsed < best[name]:
+                best[name] = elapsed
+    return best, results
 
 
 def run_benchmark(design_name=DESIGN, n_workloads=WORKLOADS,
-                  cycles=CYCLES, jobs=2, repeats=3):
+                  cycles=CYCLES, jobs=2, repeats=5):
     """Measure serial / sharded / parallel and assemble the payload."""
     from repro import build_design
     from repro.sim import design_workloads
@@ -76,11 +88,18 @@ def run_benchmark(design_name=DESIGN, n_workloads=WORKLOADS,
                                  seed=0)
     total_cycles = n_workloads * cycles
 
-    serial_s, serial = _measure(design, workloads, repeats=repeats)
-    sharded_s, sharded = _measure(design, workloads, repeats=repeats,
-                                  shard_size="auto")
-    parallel_s, parallel = _measure(design, workloads, repeats=repeats,
-                                    shard_size="auto", jobs=jobs)
+    best, results = _measure_interleaved(design, workloads, {
+        "serial": {},
+        "sharded_serial": {"shard_size": "auto"},
+        "parallel": {"shard_size": "auto", "jobs": jobs},
+    }, repeats=repeats)
+    serial_s, sharded_s, parallel_s = (
+        best["serial"], best["sharded_serial"], best["parallel"]
+    )
+    serial, sharded, parallel = (
+        results["serial"], results["sharded_serial"],
+        results["parallel"],
+    )
     for other in (sharded, parallel):
         assert np.array_equal(serial.error_cycles, other.error_cycles)
         assert np.array_equal(serial.detection_cycle,

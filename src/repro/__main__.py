@@ -14,6 +14,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 
 from repro import AnalyzerConfig, FaultCriticalityAnalyzer, build_design
@@ -37,6 +38,21 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="number of workloads in the FI suite")
     parser.add_argument("--cycles", type=int, default=200,
                         help="cycles per workload")
+
+
+def _add_pool_flags(parser: argparse.ArgumentParser) -> None:
+    """Worker-pool supervision knobs (meaningful with --jobs > 1)."""
+    parser.add_argument("--max-worker-restarts", type=int, default=8,
+                        metavar="N",
+                        help="dead pool workers respawned over the "
+                             "whole run before the pool is allowed to "
+                             "shrink (default: 8)")
+    parser.add_argument("--heartbeat-interval", type=float, default=5.0,
+                        metavar="SECONDS",
+                        help="seconds between worker liveness stamps; "
+                             "a worker silent for several intervals "
+                             "is presumed wedged and replaced "
+                             "(default: 5.0)")
 
 
 def _make_analyzer(args) -> FaultCriticalityAnalyzer:
@@ -74,7 +90,10 @@ def cmd_analyze(args) -> int:
         )
         print(f"\nGNNExplainer sample ({len(nodes)} held-out nodes, "
               "both predicted classes):")
-        for report in analyzer.node_report(nodes, jobs=args.jobs):
+        for report in analyzer.node_report(
+                nodes, jobs=args.jobs,
+                max_worker_restarts=args.max_worker_restarts,
+                heartbeat_interval=args.heartbeat_interval):
             print(render_table([report.as_row()],
                                title=f"Node {report.node_name}"))
     if args.save_campaign:
@@ -98,6 +117,8 @@ def cmd_campaign(args) -> int:
         timeout=args.timeout, retries=args.retries,
         checkpoint_dir=args.checkpoint_dir, resume=args.resume,
         jobs=args.jobs, shard_size=args.shard_size,
+        max_worker_restarts=args.max_worker_restarts,
+        heartbeat_interval=args.heartbeat_interval,
     )
     experiments = len(campaign.faults) * campaign.n_workloads
     print(f"{experiments} fault-experiments in "
@@ -137,7 +158,11 @@ def cmd_explain(args) -> int:
         return 2
     if args.batch_size is not None:
         analyzer.explainer.batch_size = args.batch_size
-    reports = analyzer.node_report(nodes, jobs=args.jobs)
+    reports = analyzer.node_report(
+        nodes, jobs=args.jobs,
+        max_worker_restarts=args.max_worker_restarts,
+        heartbeat_interval=args.heartbeat_interval,
+    )
     for report in reports:
         print(render_table([report.as_row()],
                            title=f"Node {report.node_name}"))
@@ -262,6 +287,7 @@ def main(argv=None) -> int:
                          help="worker processes for the explainer "
                               "fan-out (0 = all cores; results are "
                               "identical to --jobs 1)")
+    _add_pool_flags(analyze)
 
     campaign = commands.add_parser("campaign", help="FI campaign only")
     _add_common(campaign)
@@ -294,6 +320,7 @@ def main(argv=None) -> int:
                                "universe per pass, auto = sized so "
                                "each shard's value matrix fits in "
                                "cache)")
+    _add_pool_flags(campaign)
 
     explain = commands.add_parser("explain",
                                   help="per-node explanations")
@@ -311,6 +338,7 @@ def main(argv=None) -> int:
                          help="nodes per block-diagonal optimization "
                               "batch (default: explainer's built-in; "
                               "results are identical for any K)")
+    _add_pool_flags(explain)
 
     verilog = commands.add_parser("verilog",
                                   help="export structural Verilog")
@@ -348,7 +376,32 @@ def main(argv=None) -> int:
         "optimize": cmd_optimize,
         "harden": cmd_harden,
     }[args.command]
-    return handler(args)
+    _install_termination_handler()
+    try:
+        return handler(args)
+    except KeyboardInterrupt:
+        # The pool tears down (and the checkpoint store flushes) in the
+        # runner's finally blocks before the exception reaches here, so
+        # every completed unit is already durable on disk.
+        print(
+            "\ninterrupted — completed units are checkpointed; rerun "
+            "with --checkpoint-dir DIR --resume to continue",
+            file=sys.stderr,
+        )
+        return 130
+
+
+def _install_termination_handler() -> None:
+    """Route SIGTERM through the KeyboardInterrupt path so operators'
+    ``kill`` and ^C both produce a graceful, resumable shutdown."""
+
+    def _terminate(_signum, _frame):
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _terminate)
+    except (ValueError, OSError):  # non-main thread / exotic platform
+        pass
 
 
 if __name__ == "__main__":

@@ -279,15 +279,21 @@ class FaultCriticalityAnalyzer:
     def explain_nodes(self, nodes: Sequence["str | int"],
                       jobs: int = 1,
                       batch_size: Optional[int] = None,
+                      max_worker_restarts: int = 8,
+                      heartbeat_interval: float = 5.0,
                       ) -> List[Explanation]:
         """Per-node GNNExplainer interpretations.
 
         ``jobs`` fans the explainer's block-diagonal batches out over
-        fork workers (0 = all cores); ``batch_size`` caps nodes per
-        batch.  Results are identical for every combination.
+        the supervised fork worker pool (0 = all cores);
+        ``batch_size`` caps nodes per batch; ``max_worker_restarts``
+        and ``heartbeat_interval`` tune the pool's crash supervision.
+        Results are identical for every combination.
         """
         return self.explainer.explain_many(
-            nodes, jobs=jobs, batch_size=batch_size
+            nodes, jobs=jobs, batch_size=batch_size,
+            max_worker_restarts=max_worker_restarts,
+            heartbeat_interval=heartbeat_interval,
         )
 
     def sample_explain_nodes(self, per_class: int = 3) -> List[int]:
@@ -325,13 +331,20 @@ class FaultCriticalityAnalyzer:
         return aggregate_importance(explanations)
 
     def node_report(self, nodes: Sequence["str | int"],
-                    jobs: int = 1) -> List[NodeReport]:
+                    jobs: int = 1,
+                    max_worker_restarts: int = 8,
+                    heartbeat_interval: float = 5.0,
+                    ) -> List[NodeReport]:
         """Table 2 rows: classification, feature importances, predicted
         criticality score — for the named nodes."""
         data = self.data
         predictions = self.classifier.predict()
         scores = self.regressor.predict()
-        explanations = self.explain_nodes(nodes, jobs=jobs)
+        explanations = self.explain_nodes(
+            nodes, jobs=jobs,
+            max_worker_restarts=max_worker_restarts,
+            heartbeat_interval=heartbeat_interval,
+        )
         reports: List[NodeReport] = []
         for node, explanation in zip(nodes, explanations):
             index = (

@@ -30,10 +30,17 @@ so this is a throughput-critical path):
   ``data`` arrays are rewritten through precomputed gathers (no dense
   ``base.copy()``), and the adjacency gradient is evaluated only at
   stored entries via nnz gathers instead of a dense ``G @ (HW)^T``.
-* ``explain_many`` fans batches out over fork workers
-  (:func:`repro.utils.parallel.map_in_forks`); per-node RNG streams
-  are derived from ``(seed, node_index)`` so results are identical for
-  every ``jobs``/``batch_size`` configuration.
+* ``explain_many`` fans batches out over a persistent supervised fork
+  pool (:class:`repro.utils.workerpool.WorkerPool`): the parent builds
+  every subgraph signature and node plan *before* forking, so workers
+  inherit the whole cache copy-on-write and spend their lives purely
+  in mask optimization; batches stream back with per-unit
+  acknowledgment, dead workers are respawned and their batch re-run,
+  and a batch that keeps killing its host raises a typed
+  ``worker_crash`` error instead of a bare ``BrokenProcessPool``.
+  Per-node RNG streams are derived from ``(seed, node_index)`` so
+  results are identical for every ``jobs``/``batch_size``
+  configuration — including runs where workers were killed mid-flight.
 
 Memory scales with ``batch_size x subgraph_width``: one batch holds
 ``O(K * S * H_max)`` activations plus ``O(K * nnz)`` gather buffers
@@ -52,8 +59,9 @@ from repro.graph.data import GraphData
 from repro.models.gcn import GCNClassifier
 from repro.nn.modules import functional_plan
 from repro.utils.errors import ModelError
-from repro.utils.parallel import map_in_forks
+from repro.utils.parallel import fork_context, map_in_forks, resolve_jobs
 from repro.utils.rng import SeedLike, derive_rng
+from repro.utils.workerpool import PoolPolicy, WorkerPool
 
 #: Nodes per block-diagonal batch.  Large enough to amortize the
 #: per-epoch numpy dispatch over many masks, small enough that one
@@ -731,13 +739,21 @@ class GNNExplainer:
     def explain_many(self, nodes: Sequence["str | int"],
                      jobs: int = 1,
                      batch_size: Optional[int] = None,
+                     max_worker_restarts: int = 8,
+                     heartbeat_interval: float = 5.0,
                      ) -> List[Explanation]:
         """Explain a batch of nodes.
 
         ``batch_size`` caps how many equal-width subgraphs share one
         block-diagonal optimization (default: the explainer's);
-        ``jobs`` fans batches out over fork worker processes (0 = all
-        cores).  Results are bitwise identical for every combination.
+        ``jobs`` fans batches out over a persistent supervised pool of
+        fork workers (0 = all cores).  ``max_worker_restarts`` bounds
+        how many dead workers the pool respawns (their in-flight batch
+        is re-run — per-node RNG derivation keeps the result
+        identical); a batch that keeps killing its hosts raises a
+        typed :class:`~repro.utils.errors.ModelError` naming the nodes
+        instead of a bare ``BrokenProcessPool``.  Results are bitwise
+        identical for every configuration.
         """
         global _WORKER_EXPLAINER
 
@@ -762,22 +778,74 @@ class GNNExplainer:
             for start in range(0, len(positions), batch_size):
                 batches.append(positions[start:start + batch_size])
 
-        # Fork workers inherit the explainer (and the cached
-        # prediction) through copy-on-write memory.
-        self.log_probs()
         units = [[indices[position] for position in batch]
                  for batch in batches]
-        _WORKER_EXPLAINER = self
-        try:
-            outcomes = map_in_forks(_worker_batch, units, jobs)
-        finally:
-            _WORKER_EXPLAINER = None
+        if (resolve_jobs(jobs) <= 1 or len(units) <= 1
+                or fork_context() is None):
+            # Supervision-free fallback: same per-unit code in-process.
+            _WORKER_EXPLAINER = self
+            try:
+                outcomes = map_in_forks(_worker_batch, units, jobs)
+            finally:
+                _WORKER_EXPLAINER = None
+        else:
+            outcomes = self._pooled_batches(
+                units, jobs, max_worker_restarts, heartbeat_interval,
+            )
 
         results: List[Optional[Explanation]] = [None] * len(indices)
         for batch, outcome in zip(batches, outcomes):
             for position, explanation in zip(batch, outcome):
                 results[position] = explanation
         return results  # type: ignore[return-value]
+
+    def _pooled_batches(
+        self, units: List[List[int]], jobs: int,
+        max_worker_restarts: int, heartbeat_interval: float,
+    ) -> List[List[Explanation]]:
+        """Run explanation batches over the supervised worker pool.
+
+        Every cached stage product — the full-graph prediction, the
+        subgraph signatures, and the per-node backward plans — is
+        built in the parent *before* the pool forks, so workers
+        inherit the complete cache copy-on-write: no signature is ever
+        constructed twice, and worker time is pure mask optimization.
+        """
+        global _WORKER_EXPLAINER
+
+        self.log_probs()
+        for unit in units:
+            for node_index in unit:
+                self._node_plan(node_index)
+
+        pool_policy = PoolPolicy(
+            jobs=jobs,
+            max_worker_restarts=max_worker_restarts,
+            heartbeat_interval=heartbeat_interval,
+        )
+        ordered: List[Optional[List[Explanation]]] = [None] * len(units)
+        _WORKER_EXPLAINER = self
+        try:
+            with WorkerPool(_worker_batch, pool_policy) as pool:
+                for result in pool.run(units):
+                    if result.crash is not None:
+                        names = ", ".join(
+                            self.data.node_names[index]
+                            for index in units[result.index]
+                        )
+                        raise ModelError(
+                            f"worker_crash explaining nodes [{names}]"
+                            f": {result.crash.describe()}"
+                        )
+                    if result.error is not None:
+                        raise ModelError(
+                            f"explanation batch failed in pool "
+                            f"worker: {result.error}"
+                        )
+                    ordered[result.index] = result.value
+        finally:
+            _WORKER_EXPLAINER = None
+        return ordered  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     # batch engine

@@ -43,7 +43,10 @@ class WorkloadFailure:
     """
 
     workload: str
-    #: ``"error"`` (the pass raised) or ``"timeout"`` (the pass hung).
+    #: ``"error"`` (the pass raised), ``"timeout"`` (the pass hung), or
+    #: ``"worker_crash"`` (the unit was quarantined after repeatedly
+    #: killing its host worker processes, or the pool's worker-restart
+    #: budget ran out before the unit could run).
     status: str
     attempts: int
     elapsed_seconds: float
@@ -211,6 +214,9 @@ def run_campaign(
     resume: bool = False,
     jobs: int = 1,
     shard_size=0,
+    max_worker_restarts: int = 8,
+    heartbeat_interval: float = 5.0,
+    poison_threshold: int = 2,
 ) -> CampaignResult:
     """Run the full fault-injection campaign.
 
@@ -254,6 +260,15 @@ def run_campaign(
             the whole universe in one pass per workload,
             ``None``/``"auto"`` sizes shards so each value matrix fits
             in cache.  Results are bitwise identical for every setting.
+        max_worker_restarts: Dead pool workers respawned over the whole
+            campaign before the pool is allowed to shrink (only
+            meaningful with ``jobs > 1``).
+        heartbeat_interval: Seconds between worker liveness stamps; a
+            worker silent for several intervals is presumed wedged and
+            replaced.
+        poison_threshold: Consecutive host-worker kills after which a
+            unit is quarantined into the failure ledger as
+            ``worker_crash`` instead of crash-looping the pool.
 
     Returns:
         A :class:`CampaignResult` with per-(workload, fault) outcomes
@@ -270,6 +285,9 @@ def run_campaign(
         resume=resume,
         jobs=jobs,
         shard_size=shard_size,
+        max_worker_restarts=max_worker_restarts,
+        heartbeat_interval=heartbeat_interval,
+        poison_threshold=poison_threshold,
     )
     runner = CampaignRunner(
         netlist,

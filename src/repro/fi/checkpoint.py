@@ -32,7 +32,11 @@ import numpy as np
 
 from repro.fi.faults import Fault
 from repro.sim.waveform import Workload
-from repro.utils.errors import CampaignError, SerializationError
+from repro.utils.errors import (
+    CampaignError,
+    CorruptArtifactError,
+    SerializationError,
+)
 
 PathLike = Union[str, Path]
 
@@ -102,6 +106,9 @@ class CheckpointStore:
             [(int(lo), int(hi)) for lo, hi in shard_bounds]
             if shard_bounds is not None else [(0, n_faults)]
         )
+        #: ``(workload, shard, reason)`` of unit files whose bytes were
+        #: torn (truncated mid-kill) and will be re-simulated on resume.
+        self.stale_units: List[Tuple[int, int, str]] = []
 
     @property
     def n_shards(self) -> int:
@@ -133,9 +140,13 @@ class CheckpointStore:
         directory to hold no prior manifest — refusing to clobber an
         existing campaign's checkpoints is cheaper than diagnosing a
         half-mixed result.  Resumed runs validate the manifest against
-        the current campaign (including the shard layout) and load every
-        intact unit file (a corrupt unit file fails loudly rather than
-        being re-simulated behind the operator's back).
+        the current campaign (including the shard layout) and load
+        every intact unit file.  A unit file with *torn bytes* — the
+        truncation signature of a writer killed mid-write — is skipped
+        (recorded in :attr:`stale_units`) so the unit is re-simulated;
+        a well-formed unit file belonging to a different campaign
+        configuration still fails loudly, because silently
+        re-simulating over a mismatch would mask an operator error.
         """
         self.directory.mkdir(parents=True, exist_ok=True)
         if self.manifest_path.exists():
@@ -241,6 +252,11 @@ class CheckpointStore:
                         workload_index=index,
                         n_faults=hi - lo,
                     )
+                except CorruptArtifactError as error:
+                    # Torn write from a killed worker/run: the bytes
+                    # are damaged, not mismatched — re-simulate the
+                    # unit instead of stranding the whole resume.
+                    self.stale_units.append((index, shard, str(error)))
                 except SerializationError as error:
                     raise CampaignError(
                         f"cannot resume: unit checkpoint {path} failed "

@@ -15,9 +15,22 @@ an independent, supervised **unit** of work:
   sharding).  Shards are contiguous, so merged results are bitwise
   identical to an unsharded pass.
 * **Multi-core fan-out** — ``policy.jobs`` worker processes execute
-  units concurrently (fork-inherited context: netlists carry cell
-  lambdas that cannot pickle).  ``jobs=1`` runs everything in-process
-  with behaviour identical to the classic serial runner.
+  units concurrently through a persistent supervised pool
+  (:class:`repro.utils.workerpool.WorkerPool`): workers fork once per
+  campaign after the engine is built (fork-inherited context: netlists
+  carry cell lambdas that cannot pickle, and the pre-built simulator
+  rides along copy-on-write), pull units from a dynamic queue so
+  stragglers never idle the pool, and acknowledge each result over a
+  pipe so a worker death loses at most the unit it held.  ``jobs=1``
+  runs everything in-process with behaviour identical to the classic
+  serial runner.
+* **Worker supervision** — the pool requeues the in-flight unit of a
+  dead worker (segfault, OOM kill) and respawns workers under
+  ``policy.max_worker_restarts``; liveness is watched via heartbeats
+  every ``policy.heartbeat_interval`` seconds.  A *poison unit* — one
+  that kills ``policy.poison_threshold`` consecutive host workers — is
+  quarantined into the failure ledger (``status="worker_crash"``, with
+  the fatal signal/exitcode) instead of aborting the campaign.
 * **Timeout** — a unit that hangs past ``policy.timeout`` seconds is
   abandoned (the pass thread is orphaned; a fresh engine is built for
   the next attempt so a zombie pass can never corrupt a retry).
@@ -43,7 +56,6 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from pathlib import Path
 from typing import (
@@ -80,6 +92,7 @@ from repro.utils.parallel import (
     shard_bounds,
 )
 from repro.utils.retry import BackoffPolicy, retry_call
+from repro.utils.workerpool import PoolPolicy, WorkerPool
 
 
 class PassTimeout(CampaignError):
@@ -98,6 +111,12 @@ class RunnerPolicy:
     ``shard_size`` bounds the faults simulated per unit (``0`` = the
     whole universe in one shard, ``None``/``"auto"`` = sized so each
     shard's value matrix fits in cache).
+
+    The pool-supervision knobs only matter when ``jobs > 1``:
+    ``max_worker_restarts`` bounds how many dead workers one campaign
+    will respawn, ``heartbeat_interval`` paces worker liveness stamps,
+    and ``poison_threshold`` is the consecutive-host-kill count that
+    quarantines a unit into the failure ledger as ``worker_crash``.
     """
 
     timeout: Optional[float] = None
@@ -107,6 +126,9 @@ class RunnerPolicy:
     resume: bool = False
     jobs: int = 1
     shard_size: Optional[Union[int, str]] = 0
+    max_worker_restarts: int = 8
+    heartbeat_interval: float = 5.0
+    poison_threshold: int = 2
 
     def __post_init__(self) -> None:
         if self.timeout is not None and self.timeout <= 0:
@@ -121,6 +143,25 @@ class RunnerPolicy:
             )
         if self.jobs < 0:
             raise CampaignError(f"jobs {self.jobs} must be >= 0")
+        if (
+            self.backoff is not None
+            and self.backoff.max_elapsed is not None
+            and self.timeout is not None
+            and self.backoff.max_elapsed < self.timeout
+        ):
+            raise CampaignError(
+                f"backoff max_elapsed {self.backoff.max_elapsed}s is "
+                f"smaller than one attempt's timeout {self.timeout}s "
+                "— the deadline budget could never cover a single try"
+            )
+        # Pool-supervision knobs: validated eagerly (pre-flight), even
+        # though the PoolPolicy is only built when jobs > 1.
+        PoolPolicy(
+            jobs=self.jobs,
+            max_worker_restarts=self.max_worker_restarts,
+            heartbeat_interval=self.heartbeat_interval,
+            poison_threshold=self.poison_threshold,
+        )
         if isinstance(self.shard_size, str):
             if self.shard_size != "auto":
                 raise CampaignError(
@@ -140,7 +181,7 @@ class _UnitOutcome:
     row: int
     shard: int
     value: Optional[tuple]          # (error_cycles, detection, latent)
-    status: str                     # "ok" | "error" | "timeout"
+    status: str            # "ok" | "error" | "timeout" | "worker_crash"
     attempts: int
     elapsed_seconds: float
     error: str = ""
@@ -151,7 +192,7 @@ class _UnitOutcome:
 _WORKER_RUNNER: Optional["CampaignRunner"] = None
 
 
-def _worker_unit(row: int, shard: int) -> _UnitOutcome:
+def _worker_unit(unit: Tuple[int, int]) -> _UnitOutcome:
     """Pool entry point: run one supervised unit in a fork worker."""
     runner = _WORKER_RUNNER
     if runner is None:
@@ -159,7 +200,7 @@ def _worker_unit(row: int, shard: int) -> _UnitOutcome:
             "campaign worker has no inherited context (requires the "
             "fork start method)"
         )
-    return runner._run_unit(row, shard)
+    return runner._run_unit(*unit)
 
 
 class CampaignRunner:
@@ -310,25 +351,36 @@ class CampaignRunner:
                 self._run_unit(row, shard) for row, shard in pending
             )
 
-        for outcome in outcomes:
-            total_elapsed += outcome.elapsed_seconds
-            if outcome.status != "ok":
-                failures.append((
-                    outcome.row, outcome.shard,
-                    self._failure(outcome),
-                ))
-                continue
-            self._scatter(arrays, outcome.row, outcome.shard,
-                          outcome.value)
-            if store is not None:
-                row_errors, row_detection, row_latent = outcome.value
-                store.record(
-                    outcome.row, outcome.shard,
-                    error_cycles=row_errors,
-                    detection_cycle=row_detection,
-                    latent=row_latent,
-                    elapsed_seconds=outcome.elapsed_seconds,
-                )
+        try:
+            for outcome in outcomes:
+                total_elapsed += outcome.elapsed_seconds
+                if outcome.status != "ok":
+                    failures.append((
+                        outcome.row, outcome.shard,
+                        self._failure(outcome),
+                    ))
+                    continue
+                self._scatter(arrays, outcome.row, outcome.shard,
+                              outcome.value)
+                if store is not None:
+                    row_errors, row_detection, row_latent = (
+                        outcome.value
+                    )
+                    store.record(
+                        outcome.row, outcome.shard,
+                        error_cycles=row_errors,
+                        detection_cycle=row_detection,
+                        latent=row_latent,
+                        elapsed_seconds=outcome.elapsed_seconds,
+                    )
+        finally:
+            # An interrupt mid-iteration must tear the worker pool
+            # down *now* (not at GC): closing the generator runs its
+            # shutdown path, after which every checkpoint recorded
+            # above is durable and the run is resumable.
+            close = getattr(outcomes, "close", None)
+            if close is not None:
+                close()
 
         return CampaignResult(
             netlist_name=self.netlist.name,
@@ -384,45 +436,59 @@ class CampaignRunner:
     def _parallel_outcomes(
         self, pending: Sequence[Tuple[int, int]], jobs: int,
     ):
-        """Fan pending units out over fork worker processes.
+        """Fan pending units out over the persistent supervised pool.
 
-        Yields outcomes as units complete so checkpoints land as soon
-        as results exist.  A worker crash (e.g. OOM kill) degrades the
-        affected units into failure-ledger entries instead of aborting
-        the campaign.
+        Workers fork once, *after* the shared simulation engine is
+        built, so every child inherits the full campaign context —
+        netlist, stimulus, compiled observation, engine scratch —
+        through copy-on-write pages instead of pickling.  Outcomes are
+        yielded as acknowledgments arrive so checkpoints land the
+        moment results exist.  A worker death (segfault, OOM kill)
+        requeues the unit it held and respawns the worker under
+        ``policy.max_worker_restarts``; a unit that keeps killing its
+        hosts is quarantined as a ``worker_crash`` ledger entry
+        instead of aborting the campaign.
         """
         global _WORKER_RUNNER
 
-        context = fork_context()
-        if context is None:
+        if fork_context() is None:
             # No fork on this platform: degrade to in-process execution.
             for row, shard in pending:
                 yield self._run_unit(row, shard)
             return
 
+        # Build the engine pre-fork: children inherit the constructed
+        # simulator copy-on-write instead of each paying construction.
+        self._shared_engine()
+        pool_policy = PoolPolicy(
+            jobs=jobs,
+            max_worker_restarts=self.policy.max_worker_restarts,
+            heartbeat_interval=self.policy.heartbeat_interval,
+            poison_threshold=self.policy.poison_threshold,
+        )
         _WORKER_RUNNER = self
         try:
-            with ProcessPoolExecutor(
-                max_workers=min(jobs, len(pending)),
-                mp_context=context,
-            ) as pool:
-                futures = {
-                    pool.submit(_worker_unit, row, shard): (row, shard)
-                    for row, shard in pending
-                }
-                for future in as_completed(futures):
-                    row, shard = futures[future]
-                    try:
-                        yield future.result()
-                    except (KeyboardInterrupt, SystemExit):
-                        raise
-                    except BaseException as error:  # noqa: BLE001
+            with WorkerPool(_worker_unit, pool_policy) as pool:
+                for result in pool.run(list(pending)):
+                    row, shard = pending[result.index]
+                    if result.crash is not None:
+                        yield _UnitOutcome(
+                            row=row, shard=shard, value=None,
+                            status="worker_crash",
+                            attempts=max(result.crash.kills, 1),
+                            elapsed_seconds=0.0,
+                            error=result.crash.describe(),
+                        )
+                    elif result.error is not None:
                         yield _UnitOutcome(
                             row=row, shard=shard, value=None,
                             status="error", attempts=1,
                             elapsed_seconds=0.0,
-                            error=f"campaign worker died: {error}",
+                            error=f"campaign worker failed: "
+                                  f"{result.error}",
                         )
+                    else:
+                        yield result.value
         finally:
             _WORKER_RUNNER = None
 

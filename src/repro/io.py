@@ -22,7 +22,11 @@ from repro.fi.transient import TransientFault
 from repro.graph.data import GraphData
 from repro.graph.split import Split
 from repro.models.gcn import GCNClassifier, GCNRegressor
-from repro.utils.errors import ReproError, SerializationError
+from repro.utils.errors import (
+    CorruptArtifactError,
+    ReproError,
+    SerializationError,
+)
 
 PathLike = Union[str, Path]
 
@@ -37,7 +41,7 @@ def _open_npz(path: PathLike, kind: str):
     except FileNotFoundError:
         raise
     except Exception as error:
-        raise SerializationError(
+        raise CorruptArtifactError(
             f"{kind} archive {path} is corrupt or not an .npz file: "
             f"{error}"
         ) from error
@@ -47,13 +51,13 @@ def _archive_array(archive, key: str, path: PathLike, kind: str,
                    dtype_kind: str) -> np.ndarray:
     """Fetch a required array, checking presence and dtype family."""
     if key not in archive.files:
-        raise SerializationError(
+        raise CorruptArtifactError(
             f"{kind} archive {path} is missing array {key!r} "
             "(truncated or written by an incompatible version?)"
         )
     array = archive[key]
     if array.dtype.kind not in dtype_kind:
-        raise SerializationError(
+        raise CorruptArtifactError(
             f"{kind} archive {path}: array {key!r} has dtype "
             f"{array.dtype}, expected kind {dtype_kind!r}"
         )
@@ -64,19 +68,19 @@ def _archive_metadata(archive, path: PathLike, kind: str,
                       required: tuple) -> dict:
     """Decode and sanity-check the JSON metadata blob."""
     if "metadata" not in archive.files:
-        raise SerializationError(
+        raise CorruptArtifactError(
             f"{kind} archive {path} has no metadata block"
         )
     try:
         metadata = json.loads(bytes(archive["metadata"]).decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as error:
-        raise SerializationError(
+        raise CorruptArtifactError(
             f"{kind} archive {path}: metadata is not valid JSON "
             f"({error})"
         ) from error
     missing = [key for key in required if key not in metadata]
     if missing:
-        raise SerializationError(
+        raise CorruptArtifactError(
             f"{kind} archive {path}: metadata is missing "
             f"{', '.join(missing)}"
         )
@@ -330,7 +334,7 @@ def load_workload_checkpoint(
             array = _archive_array(archive, key, path, "checkpoint",
                                    dtype_kind)
             if array.shape != (n_faults,):
-                raise SerializationError(
+                raise CorruptArtifactError(
                     f"checkpoint {path}: {key} has shape "
                     f"{array.shape}, expected ({n_faults},)"
                 )

@@ -14,9 +14,10 @@ from __future__ import annotations
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
-from repro.utils.errors import CampaignError
+from repro.utils.errors import CampaignError, WorkerCrashError
 
 _UnitT = TypeVar("_UnitT")
 _ResultT = TypeVar("_ResultT")
@@ -89,7 +90,18 @@ def map_in_forks(
     Degrades to in-process execution when ``jobs <= 1``, when there is
     at most one unit, or on platforms without the fork start method —
     the in-process path and the fork path are the same per-unit code,
-    so results are identical either way.  Worker exceptions propagate.
+    so results are identical either way.  In-process worker exceptions
+    propagate with their original type; on the fork path, a worker
+    exception or a worker process *death* (segfault, OOM kill —
+    surfaced by the executor as ``BrokenProcessPool``) is wrapped into
+    a typed :class:`~repro.utils.errors.WorkerCrashError` that names
+    the first failing unit (in ``units`` order) and carries every
+    sibling result that had already completed, instead of discarding
+    them; the original exception rides along as ``__cause__``.
+
+    This is the supervision-free fallback path; sustained fan-out goes
+    through :class:`repro.utils.workerpool.WorkerPool`, which restarts
+    dead workers and quarantines poison units instead of raising.
     """
     jobs = resolve_jobs(jobs)
     context = fork_context()
@@ -99,7 +111,35 @@ def map_in_forks(
         max_workers=min(jobs, len(units)), mp_context=context,
     ) as pool:
         futures = [pool.submit(worker, unit) for unit in units]
-        return [future.result() for future in futures]
+        results: List[_ResultT] = []
+        for index, future in enumerate(futures):
+            try:
+                results.append(future.result())
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as error:  # noqa: BLE001 — wrapped
+                completed = dict(enumerate(results))
+                completed.update(
+                    (position, sibling.result())
+                    for position, sibling in enumerate(futures)
+                    if position > index and sibling.done()
+                    and not sibling.cancelled()
+                    and sibling.exception() is None
+                )
+                what = (
+                    "fork worker died executing"
+                    if isinstance(error, BrokenProcessPool)
+                    else "fork worker raised "
+                         f"{type(error).__name__} executing"
+                )
+                raise WorkerCrashError(
+                    f"{what} unit {index} of {len(units)} ({error}); "
+                    f"{len(completed)} sibling unit(s) completed and "
+                    "were harvested",
+                    unit_index=index,
+                    completed=completed,
+                ) from error
+        return results
 
 
 def fork_context() -> Optional[multiprocessing.context.BaseContext]:

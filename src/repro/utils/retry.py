@@ -30,6 +30,13 @@ class BackoffPolicy:
     Attempt ``k`` (0-based) sleeps ``base * multiplier**k`` seconds,
     capped at ``max_delay``, then scaled by a uniform jitter factor in
     ``[1 - jitter, 1 + jitter]`` to decorrelate concurrent retriers.
+
+    ``max_elapsed`` is a total wall-clock deadline for the whole
+    supervised call (attempts *and* sleeps): without it, a poison unit
+    under ``timeout x retries`` can burn ``(retries + 1) * timeout``
+    plus the full backoff schedule.  Once the budget is spent — or the
+    next scheduled sleep would overrun it — :func:`retry_call` stops
+    retrying and reports exhaustion, even with retries remaining.
     """
 
     base: float = 0.5
@@ -37,10 +44,16 @@ class BackoffPolicy:
     max_delay: float = 30.0
     jitter: float = 0.1
     seed: int = 0
+    max_elapsed: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.base < 0 or self.max_delay < 0:
             raise SimulationError("backoff delays must be non-negative")
+        if self.max_elapsed is not None and self.max_elapsed <= 0:
+            raise SimulationError(
+                f"backoff max_elapsed {self.max_elapsed} must be "
+                "positive"
+            )
         if self.multiplier < 1.0:
             raise SimulationError(
                 f"backoff multiplier {self.multiplier} must be >= 1"
@@ -90,16 +103,23 @@ def retry_call(
     Returns ``(value, outcome)``.  On exhaustion the value is ``None``
     and ``outcome.error`` carries the *last* exception — the caller
     decides whether exhaustion is fatal (the campaign runner records it
-    in the ledger and moves on).  ``KeyboardInterrupt``/``SystemExit``
+    in the ledger and moves on).  Exhaustion happens when the retries
+    run out *or* when ``backoff.max_elapsed`` would be overrun by the
+    next sleep — timeout x retries on a hopeless unit stays inside a
+    bounded wall-clock budget.  ``KeyboardInterrupt``/``SystemExit``
     always propagate: a kill must stay a kill, or checkpoint/resume
     semantics break.
     """
     if retries < 0:
         raise SimulationError(f"retries {retries} must be >= 0")
-    schedule = (backoff or BackoffPolicy()).delays(retries)
+    policy = backoff or BackoffPolicy()
+    schedule = policy.delays(retries)
+    deadline = policy.max_elapsed
     started = clock()
     last_error: Optional[BaseException] = None
+    attempts = 0
     for attempt in range(retries + 1):
+        attempts = attempt + 1
         try:
             value = fn()
         except (KeyboardInterrupt, SystemExit):
@@ -107,14 +127,19 @@ def retry_call(
         except BaseException as error:  # noqa: BLE001 — supervised unit
             last_error = error
             if attempt < retries:
+                elapsed = clock() - started
+                if deadline is not None and (
+                    elapsed + schedule[attempt] >= deadline
+                ):
+                    break
                 sleep(schedule[attempt])
             continue
         return value, RetryOutcome(
-            attempts=attempt + 1,
+            attempts=attempts,
             elapsed_seconds=clock() - started,
         )
     return None, RetryOutcome(
-        attempts=retries + 1,
+        attempts=attempts,
         elapsed_seconds=clock() - started,
         error=last_error,
     )

@@ -66,6 +66,12 @@ class TestBackoffPolicy:
             BackoffPolicy(multiplier=0.5)
         with pytest.raises(SimulationError):
             BackoffPolicy(jitter=1.0)
+        with pytest.raises(SimulationError):
+            BackoffPolicy(max_elapsed=0.0)
+        with pytest.raises(SimulationError):
+            BackoffPolicy(max_elapsed=-5.0)
+        assert BackoffPolicy(max_elapsed=10.0).max_elapsed == 10.0
+        assert BackoffPolicy().max_elapsed is None  # unbounded default
 
 
 class TestRetryCall:
@@ -130,6 +136,81 @@ class TestRetryCall:
     def test_negative_retries_rejected(self):
         with pytest.raises(SimulationError):
             retry_call(lambda: 1, retries=-1)
+
+    def test_max_elapsed_stops_retrying_early(self):
+        """The wall-clock deadline wins over remaining retries: a
+        sleep that would overrun the budget is never taken."""
+        clock, sleep, state = self._fake_clock()
+
+        def always_broken():
+            raise ValueError("permanent")
+
+        policy = BackoffPolicy(base=1.0, multiplier=1.0,
+                               max_delay=10.0, jitter=0.0,
+                               max_elapsed=2.5)
+        value, outcome = retry_call(always_broken, retries=10,
+                                    backoff=policy, sleep=sleep,
+                                    clock=clock)
+        assert value is None
+        assert not outcome.succeeded
+        # Slept 1s twice (to t=2.0); the third 1s sleep would land at
+        # t=3.0 >= 2.5, so the call gives up after 3 of 11 attempts.
+        assert outcome.attempts == 3
+        assert state["now"] == 2.0
+        assert isinstance(outcome.error, ValueError)
+
+    def test_max_elapsed_never_blocks_first_attempt(self):
+        """A tiny budget still allows exactly one attempt — the
+        deadline bounds *retrying*, not calling."""
+        clock, sleep, _ = self._fake_clock()
+        policy = BackoffPolicy(base=1.0, jitter=0.0, max_elapsed=0.5)
+        value, outcome = retry_call(lambda: "ok", retries=5,
+                                    backoff=policy, sleep=sleep,
+                                    clock=clock)
+        assert value == "ok"
+        assert outcome.attempts == 1
+
+        def broken():
+            raise RuntimeError("nope")
+
+        value, outcome = retry_call(broken, retries=5, backoff=policy,
+                                    sleep=sleep, clock=clock)
+        assert value is None
+        assert outcome.attempts == 1  # no sleep fits inside 0.5s
+
+    def test_runner_rejects_deadline_below_timeout(self, icfsm, suite):
+        with pytest.raises(CampaignError, match="max_elapsed"):
+            RunnerPolicy(
+                timeout=10.0, retries=2,
+                backoff=BackoffPolicy(max_elapsed=5.0),
+            )
+
+    def test_campaign_honours_retry_deadline(
+        self, icfsm, suite, monkeypatch,
+    ):
+        """With a deadline that only covers one backoff sleep, a
+        permanently broken workload stops retrying early and lands in
+        the ledger with fewer attempts than the retry budget allows."""
+        original = BitParallelSimulator.run_fault_pass
+        broken = suite[1].name
+
+        def flaky(self, workload, *args, **kwargs):
+            if workload.name == broken:
+                raise RuntimeError("injected permanent fault")
+            return original(self, workload, *args, **kwargs)
+
+        monkeypatch.setattr(BitParallelSimulator, "run_fault_pass",
+                            flaky)
+        policy = BackoffPolicy(base=30.0, multiplier=1.0, jitter=0.0,
+                               max_elapsed=1.0)
+        result = run_campaign(icfsm, suite, retries=5, backoff=policy)
+        assert len(result.failures) == 1
+        failure = result.failures[0]
+        assert failure.workload == broken
+        assert failure.status == "error"
+        # 6 attempts allowed, but the first 30s sleep would overrun
+        # the 1s budget — exactly one attempt happened.
+        assert failure.attempts == 1
 
 
 class TestPreflight:
@@ -231,12 +312,42 @@ class TestCheckpointResume:
             run_campaign(icfsm, other, checkpoint_dir=tmp_path,
                          resume=True)
 
-    def test_corrupt_workload_checkpoint_rejected(
-        self, icfsm, suite, tmp_path,
+    def test_torn_workload_checkpoint_resimulated(
+        self, icfsm, suite, baseline, tmp_path,
     ):
+        """A unit file truncated mid-write (the kill-during-save
+        signature) is skipped and re-simulated on resume — resuming
+        after a crash must never require manual file surgery."""
         run_campaign(icfsm, suite, checkpoint_dir=tmp_path)
         victim = tmp_path / "workload_0001.npz"
-        victim.write_bytes(victim.read_bytes()[:40])  # truncate
+        victim.write_bytes(victim.read_bytes()[:40])  # torn bytes
+        resumed = run_campaign(icfsm, suite, checkpoint_dir=tmp_path,
+                               resume=True)
+        assert_campaigns_identical(baseline, resumed)
+        assert resumed.complete
+        # The re-simulated unit was durably re-checkpointed intact.
+        third = run_campaign(icfsm, suite, checkpoint_dir=tmp_path,
+                             resume=True)
+        assert_campaigns_identical(baseline, third)
+
+    def test_mismatched_workload_checkpoint_still_rejected(
+        self, icfsm, suite, tmp_path,
+    ):
+        """A *well-formed* unit file that belongs to a different
+        campaign configuration is an operator error, not a torn
+        write — it must refuse loudly, never silently re-simulate."""
+        from repro.io import save_workload_checkpoint
+
+        campaign = run_campaign(icfsm, suite, checkpoint_dir=tmp_path)
+        save_workload_checkpoint(
+            tmp_path / "workload_0001.npz",
+            fingerprint="0" * 64,  # some other campaign's digest
+            workload_index=1,
+            error_cycles=campaign.error_cycles[1],
+            detection_cycle=campaign.detection_cycle[1],
+            latent=campaign.latent[1],
+            elapsed_seconds=0.0,
+        )
         with pytest.raises(CampaignError, match="failed validation"):
             run_campaign(icfsm, suite, checkpoint_dir=tmp_path,
                          resume=True)
