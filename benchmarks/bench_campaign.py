@@ -26,6 +26,11 @@ from pathlib import Path
 
 import numpy as np
 
+try:
+    from benchmarks.hostinfo import host_metadata  # pytest (package)
+except ImportError:
+    from hostinfo import host_metadata  # standalone script
+
 RESULTS_DIR = Path(__file__).parent / "results"
 ARTIFACT = "BENCH_campaign.json"
 
@@ -124,6 +129,7 @@ def run_benchmark(design_name=DESIGN, n_workloads=WORKLOADS,
         "cycles_per_workload": cycles,
         "cpu_count": os.cpu_count(),
         "jobs": jobs,
+        "host": host_metadata(best_of=repeats),
         "serial": rates(serial_s),
         "sharded_serial": rates(sharded_s),
         "parallel": rates(parallel_s),

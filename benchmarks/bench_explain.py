@@ -29,6 +29,11 @@ from pathlib import Path
 
 import numpy as np
 
+try:
+    from benchmarks.hostinfo import host_metadata  # pytest (package)
+except ImportError:
+    from hostinfo import host_metadata  # standalone script
+
 RESULTS_DIR = Path(__file__).parent / "results"
 ARTIFACT = "BENCH_explain.json"
 
@@ -113,6 +118,7 @@ def run_benchmark(analyzer=None, stride=1, jobs=2, repeats=2):
         "epochs": analyzer.explainer.config.epochs,
         "cpu_count": os.cpu_count(),
         "jobs": jobs,
+        "host": host_metadata(best_of=repeats),
         "batched_single_core": rates(single_s),
         "batched_parallel": rates(parallel_s),
         "parallel_speedup_vs_single_core": round(

@@ -1,0 +1,29 @@
+"""Host metadata for benchmark artifacts.
+
+The committed BENCH_*.json numbers are only comparable when the host
+shape is known — a 1-core container reports very different parallel
+speedups than a workstation — so every benchmark payload embeds the
+same ``host`` block: logical CPU count, the scheduler affinity mask
+actually granted to this process (the honest core count on cgroup-
+limited CI runners), platform, Python version, and the best-of-N
+measurement discipline used.
+"""
+
+import os
+import platform
+import sys
+
+
+def host_metadata(best_of: int) -> dict:
+    """The ``host`` block embedded in every BENCH_*.json payload."""
+    try:
+        usable_cpus = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # non-Linux hosts
+        usable_cpus = os.cpu_count()
+    return {
+        "cpu_count": os.cpu_count(),
+        "usable_cpus": usable_cpus,
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+        "measurement": f"best of {best_of} interleaved rounds",
+    }

@@ -72,8 +72,37 @@ def cmd_designs(_args) -> int:
     return 0
 
 
+def _print_eco_header(eco) -> None:
+    """Shared ``--eco`` preamble: what changed, what stayed clean."""
+    print(f"ECO diff: {eco.diff.summary()}")
+    print(f"dirty region: {eco.region.summary()}")
+    print(f"fault reuse: {eco.n_reused}/{eco.n_faults} cached rows "
+          f"merged, {eco.n_dirty} re-simulated "
+          f"in {eco.dirty_seconds:.2f}s "
+          f"(baseline campaign took {eco.base_seconds:.2f}s)")
+
+
 def cmd_analyze(args) -> int:
     analyzer = _make_analyzer(args)
+    if args.eco:
+        from repro.netlist import read_verilog
+        from repro.utils.errors import EcoError
+
+        edited = read_verilog(args.eco)
+        try:
+            update = analyzer.eco_update(
+                edited, base_checkpoint_dir=args.base_checkpoint_dir,
+                jobs=args.jobs,
+            )
+        except EcoError as error:
+            print(f"error: cannot reuse baseline incrementally: "
+                  f"{error}", file=sys.stderr)
+            return 2
+        _print_eco_header(update.eco)
+        print()
+        print(render_table([update.summary()],
+                           title="Incremental (ECO) update"))
+        return 0
     print(render_table([analyzer.summary()], title="Analysis summary"))
     accuracies = {"GCN": analyzer.validation_accuracy()}
     accuracies.update(analyzer.baseline_accuracies())
@@ -112,14 +141,61 @@ def cmd_campaign(args) -> int:
     workloads = design_workloads(design.name, design,
                                  count=args.workloads,
                                  cycles=args.cycles, seed=args.seed)
-    campaign = run_campaign(
-        design, workloads, collapse=args.collapse,
-        timeout=args.timeout, retries=args.retries,
-        checkpoint_dir=args.checkpoint_dir, resume=args.resume,
-        jobs=args.jobs, shard_size=args.shard_size,
-        max_worker_restarts=args.max_worker_restarts,
-        heartbeat_interval=args.heartbeat_interval,
-    )
+    if args.eco:
+        from repro.fi import run_eco_campaign
+        from repro.netlist import read_verilog
+        from repro.utils.errors import EcoError
+
+        if not args.base_checkpoint_dir:
+            print("error: --eco needs --base-checkpoint-dir (the "
+                  "checkpointed baseline campaign to merge from)",
+                  file=sys.stderr)
+            return 2
+        edited = read_verilog(args.eco)
+        try:
+            eco = run_eco_campaign(
+                design, edited, workloads,
+                base_checkpoint_dir=args.base_checkpoint_dir,
+                collapse=args.collapse,
+                timeout=args.timeout, retries=args.retries,
+                checkpoint_dir=args.checkpoint_dir,
+                resume=args.resume,
+                jobs=args.jobs, shard_size=args.shard_size,
+                max_worker_restarts=args.max_worker_restarts,
+                heartbeat_interval=args.heartbeat_interval,
+            )
+        except EcoError as error:
+            print(f"error: cannot reuse baseline incrementally: "
+                  f"{error}", file=sys.stderr)
+            return 2
+        _print_eco_header(eco)
+        print()
+        campaign = eco.result
+    elif args.eco_traces:
+        from repro.fi import run_campaign_with_traces
+
+        if not args.checkpoint_dir:
+            print("error: --eco-traces needs --checkpoint-dir (the "
+                  "sidecar is written into the checkpoint store)",
+                  file=sys.stderr)
+            return 2
+        campaign, _ = run_campaign_with_traces(
+            design, workloads, checkpoint_dir=args.checkpoint_dir,
+        )
+        print(f"ECO trace sidecar -> {args.checkpoint_dir}/"
+              "eco_traces.npz (later: repro campaign --eco EDITED.v "
+              f"--base-checkpoint-dir {args.checkpoint_dir} "
+              f"{args.design})")
+        print()
+    else:
+        campaign = run_campaign(
+            design, workloads, collapse=args.collapse,
+            timeout=args.timeout, retries=args.retries,
+            checkpoint_dir=args.checkpoint_dir, resume=args.resume,
+            jobs=args.jobs, shard_size=args.shard_size,
+            max_worker_restarts=args.max_worker_restarts,
+            heartbeat_interval=args.heartbeat_interval,
+        )
     experiments = len(campaign.faults) * campaign.n_workloads
     print(f"{experiments} fault-experiments in "
           f"{campaign.simulation_seconds:.1f}s")
@@ -287,6 +363,17 @@ def main(argv=None) -> int:
                          help="worker processes for the explainer "
                               "fan-out (0 = all cores; results are "
                               "identical to --jobs 1)")
+    analyze.add_argument("--eco", metavar="EDITED.v",
+                         help="incremental re-analysis: diff the "
+                              "design against this edited netlist, "
+                              "re-simulate only the dirty region, and "
+                              "rebind the trained GCNs to the edited "
+                              "graph (no retraining)")
+    analyze.add_argument("--base-checkpoint-dir", metavar="DIR",
+                         help="with --eco: merge cached fault rows "
+                              "from this checkpointed baseline "
+                              "campaign instead of simulating the "
+                              "baseline in-memory")
     _add_pool_flags(analyze)
 
     campaign = commands.add_parser("campaign", help="FI campaign only")
@@ -320,6 +407,25 @@ def main(argv=None) -> int:
                                "universe per pass, auto = sized so "
                                "each shard's value matrix fits in "
                                "cache)")
+    campaign.add_argument("--eco", metavar="EDITED.v",
+                          help="incremental mode: diff the design "
+                               "against this edited netlist, "
+                               "re-simulate only faults in the dirty "
+                               "region, and merge the rest from "
+                               "--base-checkpoint-dir; the merged "
+                               "result is bitwise identical to a full "
+                               "rerun")
+    campaign.add_argument("--base-checkpoint-dir", metavar="DIR",
+                          help="with --eco: the completed baseline "
+                               "campaign's checkpoint store "
+                               "(fingerprint-verified; incompatible "
+                               "stores are refused, never merged)")
+    campaign.add_argument("--eco-traces", action="store_true",
+                          help="baseline prep: serial campaign that "
+                               "also records the eco_traces.npz "
+                               "sidecar into --checkpoint-dir, "
+                               "unlocking --eco's trace-merge fast "
+                               "path")
     _add_pool_flags(campaign)
 
     explain = commands.add_parser("explain",

@@ -433,4 +433,4 @@ def _rewire_input(builder: CircuitBuilder, gate_output_net: int,
     new_inputs[port_position] = new_net
     gate.inputs = tuple(new_inputs)
     netlist.nets[new_net].sinks.append((gate_index, port_position))
-    netlist._levels_cache = None  # noqa: SLF001
+    netlist.invalidate_structure()

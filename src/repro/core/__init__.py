@@ -1,7 +1,16 @@
 """End-to-end pipeline (Figure 2): configuration and the
 FaultCriticalityAnalyzer orchestrator."""
 
-from repro.core.analyzer import FaultCriticalityAnalyzer, NodeReport
+from repro.core.analyzer import (
+    EcoAnalysis,
+    FaultCriticalityAnalyzer,
+    NodeReport,
+)
 from repro.core.config import AnalyzerConfig
 
-__all__ = ["FaultCriticalityAnalyzer", "NodeReport", "AnalyzerConfig"]
+__all__ = [
+    "EcoAnalysis",
+    "FaultCriticalityAnalyzer",
+    "NodeReport",
+    "AnalyzerConfig",
+]

@@ -27,12 +27,14 @@ from repro.explain import (
     GNNExplainer,
     aggregate_importance,
 )
-from repro.features import NodeFeatures, extract_features
+from repro.features import NodeFeatures, extract_features, patch_features
 from repro.fi import (
     CampaignResult,
     CriticalityDataset,
+    EcoResult,
     dataset_from_campaign,
     run_campaign,
+    run_eco_campaign,
 )
 from repro.graph import GraphData, Split, build_graph_data, stratified_split
 from repro.metrics import (
@@ -76,6 +78,76 @@ class NodeReport:
             row[name] = round(value, 2)
         row["criticality score"] = round(self.criticality_score, 2)
         return row
+
+
+@dataclass
+class EcoAnalysis:
+    """Everything :meth:`FaultCriticalityAnalyzer.eco_update` produces
+    for an edited design.
+
+    The campaign rows, features, dataset, and graph are bitwise
+    identical to a from-scratch analysis of ``netlist`` with the same
+    workloads; the models are the *baseline's* trained weights rebound
+    to the edited graph (no retraining), which is what makes the
+    incremental pass fast — see ``docs/fault_injection_guide.md``.
+    """
+
+    netlist: Netlist
+    eco: EcoResult
+    features: NodeFeatures
+    dataset: CriticalityDataset
+    data: GraphData
+    classifier: GCNClassifier
+    regressor: GCNRegressor
+
+    @property
+    def campaign(self) -> CampaignResult:
+        """The merged (cached + re-simulated) campaign result."""
+        return self.eco.result
+
+    def predictions(self) -> np.ndarray:
+        """Hard critical/non-critical labels from the rebound GCN."""
+        return self.classifier.predict()
+
+    def scores(self) -> np.ndarray:
+        """Continuous criticality scores from the rebound regressor."""
+        return self.regressor.predict()
+
+    def as_analyzer(
+        self, config: Optional[AnalyzerConfig] = None,
+        workloads: Optional[Sequence[Workload]] = None,
+    ) -> "FaultCriticalityAnalyzer":
+        """A fresh analyzer for the edited design with the expensive
+        stages (campaign, features, dataset, graph) pre-seeded from
+        this incremental result.  Models stay lazy — accessing
+        ``.classifier`` on the returned analyzer *retrains* on the
+        edited graph; use :attr:`classifier` here for the transferred
+        (no-retrain) weights.
+        """
+        analyzer = FaultCriticalityAnalyzer(
+            self.netlist, config=config, workloads=workloads
+        )
+        analyzer._campaign = self.eco.result
+        analyzer._features = self.features
+        analyzer._dataset = self.dataset
+        analyzer._data = self.data
+        return analyzer
+
+    def summary(self) -> Dict[str, object]:
+        """One-line-per-fact overview of the incremental update."""
+        predictions = self.predictions()
+        return {
+            "design": self.netlist.name,
+            "edits": self.eco.diff.n_edits,
+            "dirty_nodes": self.eco.region.n_dirty,
+            "dirty_fraction": round(self.eco.region.dirty_fraction, 4),
+            "faults_resimulated": self.eco.n_dirty,
+            "faults_reused": self.eco.n_reused,
+            "reuse_fraction": round(self.eco.reuse_fraction, 4),
+            "fi_seconds": round(self.eco.dirty_seconds, 2),
+            "base_fi_seconds": round(self.eco.base_seconds, 2),
+            "critical_fraction": round(float(predictions.mean()), 4),
+        }
 
 
 class FaultCriticalityAnalyzer:
@@ -381,3 +453,76 @@ class FaultCriticalityAnalyzer:
             "gcn_auc": auc,
             "fi_seconds": round(self.campaign.simulation_seconds, 2),
         }
+
+    # ------------------------------------------------------------------
+    # incremental re-analysis (ECO mode)
+    # ------------------------------------------------------------------
+    def eco_update(
+        self, new_netlist: Netlist, *,
+        base_checkpoint_dir: "Optional[str]" = None,
+        jobs: int = 1,
+        shard_size: int = 0,
+        checkpoint_dir: "Optional[str]" = None,
+        resume: bool = False,
+        timeout: Optional[float] = None,
+        retries: int = 0,
+    ) -> EcoAnalysis:
+        """Re-analyze an edited version of this design incrementally.
+
+        Diffs ``new_netlist`` against the baseline, re-simulates only
+        the faults inside the edit's dirty region
+        (:func:`repro.fi.run_eco_campaign`), merges the rest from the
+        cached baseline campaign, patches the feature matrix
+        (:func:`repro.features.patch_features`), and rebinds the
+        already-trained GCN classifier/regressor to the edited graph
+        via ``transfer_to`` — no retraining.  The merged campaign,
+        features, dataset, and graph are bitwise identical to a full
+        from-scratch run on ``new_netlist``.
+
+        By default the in-memory :attr:`campaign` is the baseline
+        (computed now if not cached); pass ``base_checkpoint_dir`` to
+        reuse a PR 1/3-style on-disk checkpoint store instead, in which
+        case the baseline campaign is never simulated here.  Raises
+        :class:`~repro.utils.errors.EcoError` when the baseline cannot
+        be soundly reused.
+        """
+        from repro.fi.eco import _remap_workloads
+
+        if base_checkpoint_dir is not None:
+            eco = run_eco_campaign(
+                self.netlist, new_netlist, self.workloads,
+                base_checkpoint_dir=base_checkpoint_dir,
+                severity=self.config.severity,
+                jobs=jobs, shard_size=shard_size,
+                checkpoint_dir=checkpoint_dir, resume=resume,
+                timeout=timeout, retries=retries,
+            )
+        else:
+            eco = run_eco_campaign(
+                self.netlist, new_netlist, self.workloads,
+                base=self.campaign,
+                severity=self.config.severity,
+                jobs=jobs, shard_size=shard_size,
+                checkpoint_dir=checkpoint_dir, resume=resume,
+                timeout=timeout, retries=retries,
+            )
+        remapped = _remap_workloads(new_netlist, self.workloads)
+        features = patch_features(
+            self.features, new_netlist, eco.region.dirty_nodes,
+            workloads=remapped
+            if self.config.probability_source == "simulation" else None,
+            probability_source=self.config.probability_source,
+        )
+        dataset = dataset_from_campaign(
+            eco.result, threshold=self.config.criticality_threshold
+        )
+        data = build_graph_data(new_netlist, features, dataset)
+        return EcoAnalysis(
+            netlist=new_netlist,
+            eco=eco,
+            features=features,
+            dataset=dataset,
+            data=data,
+            classifier=self.classifier.transfer_to(data),
+            regressor=self.regressor.transfer_to(data),
+        )

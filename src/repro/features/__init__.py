@@ -7,6 +7,7 @@ from repro.features.extract import (
     NodeFeatures,
     extract_features,
 )
+from repro.features.incremental import patch_features
 from repro.features.probability import (
     ProbabilityFeatures,
     cop_probabilities,
@@ -29,6 +30,7 @@ __all__ = [
     "FEATURE_NAMES",
     "NodeFeatures",
     "extract_features",
+    "patch_features",
     "ProbabilityFeatures",
     "cop_probabilities",
     "from_golden_stats",

@@ -17,25 +17,23 @@ from repro.netlist.netlist import Netlist
 
 def connection_counts(netlist: Netlist) -> np.ndarray:
     """Per-gate total connections: fan-ins plus fan-outs (§3.1.1)."""
-    return np.array([
-        netlist.fanin_count(gate) + netlist.fanout_count(gate)
-        for gate in netlist.gates
-    ], dtype=np.float64)
+    adjacency = netlist.gate_adjacency()
+    return (
+        adjacency.fanin_connections + adjacency.fanout_connections
+    ).astype(np.float64)
 
 
 def fanin_counts(netlist: Netlist) -> np.ndarray:
     """Per-gate fan-in connection count."""
-    return np.array(
-        [netlist.fanin_count(gate) for gate in netlist.gates],
-        dtype=np.float64,
+    return netlist.gate_adjacency().fanin_connections.astype(
+        np.float64
     )
 
 
 def fanout_counts(netlist: Netlist) -> np.ndarray:
     """Per-gate fan-out connection count."""
-    return np.array(
-        [netlist.fanout_count(gate) for gate in netlist.gates],
-        dtype=np.float64,
+    return netlist.gate_adjacency().fanout_connections.astype(
+        np.float64
     )
 
 
@@ -73,14 +71,15 @@ def output_distances(netlist: Netlist) -> np.ndarray:
             distance[gate.index] = 0.0
             frontier.append(gate.index)
 
-    # Reverse BFS over driving gates.
+    # Reverse BFS over driving gates, through the cached CSR rows.
+    adjacency = netlist.gate_adjacency()
     cursor = 0
     while cursor < len(frontier):
         gate_index = frontier[cursor]
         cursor += 1
         next_distance = distance[gate_index] + 1.0
-        for driver in netlist.fanin_gates(netlist.gates[gate_index]):
+        for driver in adjacency.fanin_row(gate_index):
             if next_distance < distance[driver]:
                 distance[driver] = next_distance
-                frontier.append(driver)
+                frontier.append(int(driver))
     return distance

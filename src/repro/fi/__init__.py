@@ -30,6 +30,17 @@ from repro.fi.analysis import (
     undetected_faults,
 )
 from repro.fi.diagnosis import DiagnosisCandidate, FaultDictionary
+from repro.fi.eco import (
+    DirtyRegion,
+    EcoResult,
+    EcoTraces,
+    compute_dirty_region,
+    extract_dirty_cone,
+    extract_support_cone,
+    run_campaign_with_traces,
+    run_eco_campaign,
+    run_eco_transient_campaign,
+)
 from repro.fi.faults import (
     Fault,
     faults_for_nodes,
@@ -70,6 +81,15 @@ __all__ = [
     "undetected_faults",
     "DiagnosisCandidate",
     "FaultDictionary",
+    "DirtyRegion",
+    "EcoResult",
+    "EcoTraces",
+    "compute_dirty_region",
+    "extract_dirty_cone",
+    "extract_support_cone",
+    "run_campaign_with_traces",
+    "run_eco_campaign",
+    "run_eco_transient_campaign",
     "CollapsedUniverse",
     "collapse_faults",
     "expand_results",

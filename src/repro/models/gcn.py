@@ -246,3 +246,37 @@ class GCNRegressor:
         data = data if data is not None else self._data
         self.model.eval()
         return np.clip(self.model.forward(data.x).reshape(-1), 0.0, 1.0)
+
+    def transfer_to(self, data: GraphData) -> "GCNRegressor":
+        """Bind the trained weights to a *different* design's graph.
+
+        Same contract as :meth:`GCNClassifier.transfer_to`: the weights
+        are graph-independent, the propagation matrix comes from
+        ``data``, and the target must share the feature set.
+        """
+        if self.model is None:
+            raise ModelError("predict before fit")
+        source_in = self.model.parameters()[0].shape[0]
+        if data.n_features != source_in:
+            raise ModelError(
+                f"transfer target has {data.n_features} features, "
+                f"model was trained on {source_in}"
+            )
+        clone = GCNRegressor(
+            hidden_dims=self.hidden_dims, dropout=self.dropout,
+            adjacency_mode=self.adjacency_mode,
+            self_loops=self.self_loops, seed=self.seed,
+            config=self.config,
+        )
+        clone.model = build_gcn_stack(
+            data.n_features, 1,
+            data.a_norm(self.adjacency_mode, self.self_loops),
+            hidden_dims=self.hidden_dims, dropout=self.dropout,
+            log_softmax=False, seed=self.seed,
+        )
+        for target, source in zip(clone.model.parameters(),
+                                  self.model.parameters()):
+            target.value[:] = source.value
+        clone.model.eval()
+        clone._data = data
+        return clone

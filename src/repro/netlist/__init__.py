@@ -7,7 +7,8 @@ from repro.netlist.cells import (
     get_cell,
     sequential_cells,
 )
-from repro.netlist.netlist import Gate, Net, Netlist
+from repro.netlist.diff import GateChange, NetlistDiff, diff_netlists
+from repro.netlist.netlist import Gate, GateAdjacency, Net, Netlist
 from repro.netlist.stats import NetlistStats, summarize
 from repro.netlist.equivalence import (
     Counterexample,
@@ -31,8 +32,12 @@ __all__ = [
     "get_cell",
     "sequential_cells",
     "Gate",
+    "GateAdjacency",
+    "GateChange",
     "Net",
     "Netlist",
+    "NetlistDiff",
+    "diff_netlists",
     "NetlistStats",
     "summarize",
     "Counterexample",

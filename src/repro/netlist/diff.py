@@ -1,0 +1,218 @@
+"""Structural netlist diffing.
+
+Compares two gate-level designs *by name*, following the
+:func:`~repro.netlist.equivalence.check_equivalence` conventions: gates
+match by instance name, nets and ports by their declared names.  The
+result is an engineering-change-order (ECO) description — which gates
+were added, removed, or changed, and which nets/ports were re-driven —
+that :mod:`repro.fi.eco` turns into a dirty region for incremental
+fault re-analysis.
+
+The diff is purely structural: two designs with an empty diff are the
+same circuit graph (up to net/gate index permutation), while a
+non-empty diff lists exactly the edit seeds whose fanout cones can
+behave differently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.netlist.netlist import Gate, Netlist
+
+
+@dataclass(frozen=True)
+class GateChange:
+    """One instance present in both designs with a different definition.
+
+    Input/output connections are compared by *net name* (net indices
+    are layout details); the cell by its library name.
+    """
+
+    instance: str
+    old_cell: str
+    new_cell: str
+    old_inputs: Tuple[str, ...]
+    new_inputs: Tuple[str, ...]
+    old_output: str
+    new_output: str
+
+    @property
+    def cell_changed(self) -> bool:
+        return self.old_cell != self.new_cell
+
+    def describe(self) -> str:
+        parts = []
+        if self.cell_changed:
+            parts.append(f"cell {self.old_cell}->{self.new_cell}")
+        if self.old_inputs != self.new_inputs:
+            parts.append(
+                f"inputs {list(self.old_inputs)}->{list(self.new_inputs)}"
+            )
+        if self.old_output != self.new_output:
+            parts.append(
+                f"output {self.old_output}->{self.new_output}"
+            )
+        return f"{self.instance}: " + ", ".join(parts)
+
+
+@dataclass(frozen=True)
+class NetlistDiff:
+    """Structural difference between two designs.
+
+    Attributes:
+        old_name / new_name: The two design names.
+        added_gates: Instance names present only in the new design.
+        removed_gates: Instance names present only in the old design.
+        changed_gates: Instances present in both with a different
+            cell, input connection list, or output net name.
+        redriven_nets: Net names present in both designs whose driver
+            identity differs (different driving instance, or primary
+            input on one side and gate output on the other).
+        added_inputs / removed_inputs: Primary-input net names present
+            on one side only.
+        added_outputs / removed_outputs: Output port names present on
+            one side only.
+        redriven_outputs: Output ports present in both designs but
+            bound to a differently-named net.
+    """
+
+    old_name: str
+    new_name: str
+    added_gates: Tuple[str, ...]
+    removed_gates: Tuple[str, ...]
+    changed_gates: Tuple[GateChange, ...]
+    redriven_nets: Tuple[str, ...]
+    added_inputs: Tuple[str, ...]
+    removed_inputs: Tuple[str, ...]
+    added_outputs: Tuple[str, ...]
+    removed_outputs: Tuple[str, ...]
+    redriven_outputs: Tuple[str, ...]
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the designs are structurally identical."""
+        return not (
+            self.added_gates or self.removed_gates or self.changed_gates
+            or self.redriven_nets or self.added_inputs
+            or self.removed_inputs or self.added_outputs
+            or self.removed_outputs or self.redriven_outputs
+        )
+
+    @property
+    def n_edits(self) -> int:
+        """Total number of differing items across all categories."""
+        return (
+            len(self.added_gates) + len(self.removed_gates)
+            + len(self.changed_gates) + len(self.redriven_nets)
+            + len(self.added_inputs) + len(self.removed_inputs)
+            + len(self.added_outputs) + len(self.removed_outputs)
+            + len(self.redriven_outputs)
+        )
+
+    def summary(self) -> str:
+        if self.is_empty:
+            return (
+                f"{self.old_name} -> {self.new_name}: no structural "
+                "differences"
+            )
+        parts = []
+        for label, items in (
+            ("added", self.added_gates),
+            ("removed", self.removed_gates),
+            ("changed", tuple(c.instance for c in self.changed_gates)),
+            ("redriven nets", self.redriven_nets),
+            ("+PI", self.added_inputs),
+            ("-PI", self.removed_inputs),
+            ("+PO", self.added_outputs),
+            ("-PO", self.removed_outputs),
+            ("redriven PO", self.redriven_outputs),
+        ):
+            if items:
+                shown = ", ".join(items[:4])
+                more = f", +{len(items) - 4}" if len(items) > 4 else ""
+                parts.append(f"{label}: {shown}{more}")
+        return f"{self.old_name} -> {self.new_name}: " + "; ".join(parts)
+
+
+def _driver_identity(netlist: Netlist, net_name: str) -> Optional[str]:
+    """Driving instance name for a net, or None for a primary input."""
+    net = netlist.nets[netlist.net_index(net_name)]
+    if net.driver is None:
+        return None
+    return netlist.gates[net.driver].instance
+
+
+def _input_net_names(netlist: Netlist, gate: Gate) -> Tuple[str, ...]:
+    return tuple(netlist.nets[n].name for n in gate.inputs)
+
+
+def diff_netlists(old: Netlist, new: Netlist) -> NetlistDiff:
+    """Structural diff of two designs, matched by instance/net name."""
+    old_instances = {gate.instance: gate for gate in old.gates}
+    new_instances = {gate.instance: gate for gate in new.gates}
+
+    added_gates = tuple(
+        name for name in new_instances if name not in old_instances
+    )
+    removed_gates = tuple(
+        name for name in old_instances if name not in new_instances
+    )
+
+    changed: List[GateChange] = []
+    for name, old_gate in old_instances.items():
+        new_gate = new_instances.get(name)
+        if new_gate is None:
+            continue
+        change = GateChange(
+            instance=name,
+            old_cell=old_gate.cell.name,
+            new_cell=new_gate.cell.name,
+            old_inputs=_input_net_names(old, old_gate),
+            new_inputs=_input_net_names(new, new_gate),
+            old_output=old.nets[old_gate.output].name,
+            new_output=new.nets[new_gate.output].name,
+        )
+        if (change.cell_changed
+                or change.old_inputs != change.new_inputs
+                or change.old_output != change.new_output):
+            changed.append(change)
+
+    new_net_names = {net.name for net in new.nets}
+    redriven_nets = tuple(
+        name
+        for name in (net.name for net in old.nets)
+        if name in new_net_names
+        and _driver_identity(old, name) != _driver_identity(new, name)
+    )
+
+    old_inputs = set(old.input_names())
+    new_inputs = set(new.input_names())
+    old_ports: Dict[str, str] = {
+        port: old.nets[net].name for net, port in old.primary_outputs
+    }
+    new_ports: Dict[str, str] = {
+        port: new.nets[net].name for net, port in new.primary_outputs
+    }
+
+    return NetlistDiff(
+        old_name=old.name,
+        new_name=new.name,
+        added_gates=added_gates,
+        removed_gates=removed_gates,
+        changed_gates=tuple(changed),
+        redriven_nets=redriven_nets,
+        added_inputs=tuple(sorted(new_inputs - old_inputs)),
+        removed_inputs=tuple(sorted(old_inputs - new_inputs)),
+        added_outputs=tuple(
+            port for port in new_ports if port not in old_ports
+        ),
+        removed_outputs=tuple(
+            port for port in old_ports if port not in new_ports
+        ),
+        redriven_outputs=tuple(
+            port for port, net_name in old_ports.items()
+            if port in new_ports and new_ports[port] != net_name
+        ),
+    )

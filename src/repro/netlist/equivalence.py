@@ -64,12 +64,18 @@ def check_equivalence(
     seed: SeedLike = 0,
     reset_input: str = "reset",
     stop_at_first: bool = True,
+    outputs: Optional[Sequence[str]] = None,
 ) -> EquivalenceResult:
     """Check ``design_a`` and ``design_b`` for bounded sequential
     equivalence under shared constrained-random stimulus.
 
+    ``outputs`` restricts the comparison to a subset of the shared
+    output ports — ECO verification uses this to compare only the
+    cone-affected outputs of an edited design cheaply.
+
     Raises :class:`NetlistError` when the interfaces are incomparable
-    (different input or output name sets).
+    (different input or output name sets, or ``outputs`` names an
+    unknown port).
     """
     from repro.sim.simulator import Simulator
     from repro.sim.waveform import Workload
@@ -90,9 +96,20 @@ def check_equivalence(
             f"{sorted(set(outputs_a) ^ set(outputs_b))[:6]}"
         )
 
+    if outputs is None:
+        compare_names = list(outputs_a)
+    else:
+        unknown = [name for name in outputs if name not in set(outputs_a)]
+        if unknown:
+            raise NetlistError(
+                f"outputs subset names unknown ports: {unknown[:6]}"
+            )
+        compare_names = list(outputs)
+
     simulator_a = Simulator(design_a)
     simulator_b = Simulator(design_b)
-    column_b = [outputs_b.index(name) for name in outputs_a]
+    column_a = [outputs_a.index(name) for name in compare_names]
+    column_b = [outputs_b.index(name) for name in compare_names]
 
     counterexample: Optional[Counterexample] = None
     for index in range(workloads):
@@ -111,15 +128,16 @@ def check_equivalence(
         )
         trace_b = simulator_b.run(remapped)
 
+        aligned_a = trace_a.outputs[:, column_a]
         aligned_b = trace_b.outputs[:, column_b]
-        difference = trace_a.outputs != aligned_b
+        difference = aligned_a != aligned_b
         if difference.any():
             cycle, position = np.argwhere(difference)[0]
             counterexample = Counterexample(
                 workload_name=stimulus.name,
                 cycle=int(cycle),
-                output=outputs_a[int(position)],
-                value_a=int(trace_a.outputs[cycle, position]),
+                output=compare_names[int(position)],
+                value_a=int(aligned_a[cycle, position]),
                 value_b=int(aligned_b[cycle, position]),
             )
             if stop_at_first:

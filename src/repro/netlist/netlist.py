@@ -21,8 +21,48 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.netlist.cells import Cell, FEEDBACK_PORTS, get_cell
 from repro.utils.errors import NetlistError
+
+
+@dataclass(frozen=True)
+class GateAdjacency:
+    """Cached CSR gate-to-gate connectivity for one netlist snapshot.
+
+    Both directions preserve the ordering semantics of the list-based
+    :meth:`Netlist.fanout_gates` / :meth:`Netlist.fanin_gates` (distinct
+    gates, self-feedback excluded; fanout in sink first-appearance
+    order, fanin in port order), so graph construction stays bitwise
+    stable.  ``fanin_connections`` / ``fanout_connections`` mirror
+    :meth:`Netlist.fanin_count` / :meth:`Netlist.fanout_count` — they
+    count *connections* (including primary-output ports and duplicate
+    sink ports), not distinct neighbour gates.
+
+    Attributes:
+        fanout_indptr: ``(n_gates + 1,)`` int64 row pointers.
+        fanout_indices: Reader-gate indices, CSR-packed.
+        fanin_indptr: ``(n_gates + 1,)`` int64 row pointers.
+        fanin_indices: Driver-gate indices, CSR-packed.
+        fanin_connections: ``(n_gates,)`` wired-input counts.
+        fanout_connections: ``(n_gates,)`` sink + PO-port counts.
+    """
+
+    fanout_indptr: np.ndarray
+    fanout_indices: np.ndarray
+    fanin_indptr: np.ndarray
+    fanin_indices: np.ndarray
+    fanin_connections: np.ndarray
+    fanout_connections: np.ndarray
+
+    def fanout_row(self, gate_index: int) -> np.ndarray:
+        start, end = self.fanout_indptr[gate_index:gate_index + 2]
+        return self.fanout_indices[start:end]
+
+    def fanin_row(self, gate_index: int) -> np.ndarray:
+        start, end = self.fanin_indptr[gate_index:gate_index + 2]
+        return self.fanin_indices[start:end]
 
 
 @dataclass
@@ -97,6 +137,18 @@ class Netlist:
         self.primary_outputs: List[Tuple[int, str]] = []
         self._instance_counter = 0
         self._levels_cache: Optional[List[int]] = None
+        self._adjacency_cache: Optional[GateAdjacency] = None
+
+    def invalidate_structure(self) -> None:
+        """Drop connectivity-derived caches after a mutation.
+
+        Every code path that edits nets, gate pins, or primary outputs
+        must call this (construction helpers do so automatically); the
+        levelization and CSR adjacency caches are rebuilt lazily on
+        next use.
+        """
+        self._levels_cache = None
+        self._adjacency_cache = None
 
     # ------------------------------------------------------------------
     # construction
@@ -107,7 +159,7 @@ class Netlist:
         index = len(self.nets)
         self.nets.append(Net(index=index, name=name))
         self._net_by_name[name] = index
-        self._levels_cache = None
+        self.invalidate_structure()
         return index
 
     def add_input(self, name: str) -> int:
@@ -121,6 +173,8 @@ class Netlist:
         if any(existing == port for _, existing in self.primary_outputs):
             raise NetlistError(f"duplicate output port {port!r}")
         self.primary_outputs.append((net, port))
+        # Fanout connection counts include PO ports.
+        self._adjacency_cache = None
 
     def _fresh_instance(self) -> str:
         while True:
@@ -180,7 +234,7 @@ class Netlist:
         self._gate_by_instance[instance] = gate_index
         for position, net in enumerate(gate.inputs):
             self.nets[net].sinks.append((gate_index, position))
-        self._levels_cache = None
+        self.invalidate_structure()
         return output_net
 
     def _check_net(self, net: int) -> None:
@@ -343,6 +397,71 @@ class Netlist:
         levels = self.levelize()
         return max(levels) if levels else 0
 
+    def gate_adjacency(self) -> GateAdjacency:
+        """Cached CSR fanin/fanout gate adjacency.
+
+        Built once per structural state and dropped by
+        :meth:`invalidate_structure`; all hot connectivity paths
+        (feature extraction, cone BFS, graph construction) share it
+        instead of re-scanning Python sink lists per call.
+        """
+        if self._adjacency_cache is not None:
+            return self._adjacency_cache
+
+        n = self.n_gates
+        po_ports = [0] * self.n_nets
+        for net, _ in self.primary_outputs:
+            po_ports[net] += 1
+
+        fanout_lists: List[List[int]] = []
+        fanin_lists: List[List[int]] = []
+        fanin_connections = np.zeros(n, dtype=np.int64)
+        fanout_connections = np.zeros(n, dtype=np.int64)
+        for gate in self.gates:
+            feedback = FEEDBACK_PORTS.get(gate.cell.name)
+            fanin_connections[gate.index] = (
+                len(gate.inputs) - (1 if feedback else 0)
+            )
+            drivers: List[int] = []
+            for net in gate.inputs:
+                driver = self.nets[net].driver
+                if (driver is not None and driver != gate.index
+                        and driver not in drivers):
+                    drivers.append(driver)
+            fanin_lists.append(drivers)
+
+            readers: List[int] = []
+            connections = 0
+            for sink_gate, _ in self.nets[gate.output].sinks:
+                if sink_gate == gate.index:
+                    continue
+                connections += 1
+                if sink_gate not in readers:
+                    readers.append(sink_gate)
+            fanout_lists.append(readers)
+            fanout_connections[gate.index] = (
+                connections + po_ports[gate.output]
+            )
+
+        def pack(rows: List[List[int]]):
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            for i, row in enumerate(rows):
+                indptr[i + 1] = indptr[i] + len(row)
+            flat = [g for row in rows for g in row]
+            return indptr, np.asarray(flat, dtype=np.int64)
+
+        fanout_indptr, fanout_indices = pack(fanout_lists)
+        fanin_indptr, fanin_indices = pack(fanin_lists)
+        self._adjacency_cache = GateAdjacency(
+            fanout_indptr=fanout_indptr,
+            fanout_indices=fanout_indices,
+            fanin_indptr=fanin_indptr,
+            fanin_indices=fanin_indices,
+            fanin_connections=fanin_connections,
+            fanout_connections=fanout_connections,
+        )
+        return self._adjacency_cache
+
     def fanin_count(self, gate: Gate) -> int:
         """Number of wired input connections of ``gate`` (feedback port
         of DFFE excluded, matching what a designer would count)."""
@@ -354,30 +473,17 @@ class Netlist:
         """Number of sink connections on the gate's output net, plus one
         per primary-output port it drives.  Self-feedback (DFFE) is not
         counted."""
-        count = 0
-        for sink_gate, _ in self.nets[gate.output].sinks:
-            if sink_gate == gate.index:
-                continue
-            count += 1
-        count += sum(1 for net, _ in self.primary_outputs if net == gate.output)
-        return count
+        return int(
+            self.gate_adjacency().fanout_connections[gate.index]
+        )
 
     def fanout_gates(self, gate: Gate) -> List[int]:
         """Indices of distinct gates reading ``gate``'s output."""
-        seen: List[int] = []
-        for sink_gate, _ in self.nets[gate.output].sinks:
-            if sink_gate != gate.index and sink_gate not in seen:
-                seen.append(sink_gate)
-        return seen
+        return self.gate_adjacency().fanout_row(gate.index).tolist()
 
     def fanin_gates(self, gate: Gate) -> List[int]:
         """Indices of distinct gates driving ``gate``'s inputs."""
-        seen: List[int] = []
-        for net in gate.inputs:
-            driver = self.nets[net].driver
-            if driver is not None and driver != gate.index and driver not in seen:
-                seen.append(driver)
-        return seen
+        return self.gate_adjacency().fanin_row(gate.index).tolist()
 
     def node_names(self) -> List[str]:
         """Canonical node names for all gates, in gate-index order."""

@@ -95,7 +95,7 @@ def harden_nodes(netlist: Netlist,
             if net == original_net:
                 hardened.primary_outputs[position] = (voter, port_name)
 
-    hardened._levels_cache = None  # noqa: SLF001
+    hardened.invalidate_structure()
     return hardened
 
 

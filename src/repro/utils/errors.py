@@ -31,6 +31,16 @@ class CampaignError(SimulationError):
     DUT — this is the harness itself misbehaving."""
 
 
+class EcoError(CampaignError):
+    """Raised when incremental (ECO) re-analysis cannot soundly reuse
+    the cached baseline: incompatible primary-input interfaces,
+    fingerprint/universe mismatches against the base campaign, an
+    incomplete or failed base, or divergent observation policies.
+    Callers should fall back to a full campaign on the edited design —
+    silently merging across any of these boundaries would corrupt the
+    ground truth."""
+
+
 class WorkerCrashError(CampaignError):
     """A fan-out worker process died (segfault, OOM kill) instead of
     returning its unit.
