@@ -1,0 +1,231 @@
+"""Design-ingestion front-end scaling: parse -> Netlist -> features.
+
+The ingestion path (streaming Verilog reader, bulk `Netlist`
+construction, vectorized edge/feature extraction) is O(V+E) end to
+end.  This benchmark commits that claim in machine-readable form:
+``results/BENCH_frontend.json`` records wall clocks for each front-end
+stage on FSM×datapath grid designs at geometric sizes (~500 to ~120k
+gates), fits the empirical scaling exponent per stage on a log-log
+regression, and asserts
+
+* exponent < 1.3 for netlist construction, Verilog parsing, and
+  edge + feature extraction, and
+* a wall-clock bound for the full ~100k-gate ingest
+  (parse -> edges -> feature matrix) on the 1-core bench host.
+
+Runs two ways:
+
+* ``pytest benchmarks/bench_frontend.py`` — full measurement, writes
+  the JSON artifact and asserts the exponent and 100k-gate bounds
+  (tier-2: the ~100k sizes take minutes, keep out of tier-1).
+* ``python benchmarks/bench_frontend.py [--smoke]`` — standalone;
+  ``--smoke`` runs tiny sizes once for the CI guard (exercises
+  generator, writer, parser, and feature extraction end to end, skips
+  the artifact write and the bounds).
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+try:
+    from benchmarks.hostinfo import host_metadata  # pytest (package)
+except ImportError:
+    from hostinfo import host_metadata  # standalone script
+
+RESULTS_DIR = Path(__file__).parent / "results"
+ARTIFACT = "BENCH_frontend.json"
+
+#: Square grid sizes (tiles double per axis -> ~4x gates per step).
+SIZES = ((2, 2), (4, 4), (8, 8), (16, 16), (32, 32))
+SMOKE_SIZES = ((2, 2), (3, 3))
+WIDTH = 8
+REPEATS = 3
+
+#: Acceptance bars (see ISSUE 8 / docs/performance.md).
+EXPONENT_BOUND = 1.3
+INGEST_100K_BOUND_SECONDS = 60.0
+
+#: Stage wall clocks for the largest size measured at the commit that
+#: introduced the linear-time front end, frozen so later regressions
+#: show up as a ratio against a stable reference.
+REFERENCE_100K = {
+    "n_gates": 122373,
+    "parse_seconds": 5.26,
+    "edge_feature_seconds": 9.06,
+    "ingest_seconds": 14.32,
+}
+
+
+def _best_of(repeats, thunk):
+    best = None
+    result = None
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        result = thunk()
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def measure_size(rows, cols, repeats=REPEATS):
+    """Time every front-end stage for one grid size."""
+    from repro.circuits import build_fsm_grid
+    from repro.features.extract import extract_features
+    from repro.graph.build import netlist_edges
+    from repro.netlist.verilog import from_verilog, to_verilog
+
+    build_seconds, netlist = _best_of(
+        repeats, lambda: build_fsm_grid(rows, cols, width=WIDTH)
+    )
+    write_seconds, source = _best_of(repeats, lambda: to_verilog(netlist))
+    parse_seconds, parsed = _best_of(repeats, lambda: from_verilog(source))
+    assert parsed.n_gates == netlist.n_gates
+    assert parsed.n_nets == netlist.n_nets
+
+    def edge_feature():
+        # Cold caches each repeat: this stage times the vectorized
+        # CSR/array builds, not a dictionary lookup.
+        parsed.invalidate_structure()
+        edges = netlist_edges(parsed)
+        features = extract_features(parsed, probability_source="cop")
+        return edges, features
+
+    edge_feature_seconds, (edges, features) = _best_of(
+        repeats, edge_feature
+    )
+    assert features.matrix.shape == (parsed.n_gates, 5)
+
+    return {
+        "rows": rows,
+        "cols": cols,
+        "n_gates": netlist.n_gates,
+        "n_nets": netlist.n_nets,
+        "n_edges": int(edges.shape[1]),
+        "verilog_chars": len(source),
+        "netlist_build_seconds": round(build_seconds, 4),
+        "write_seconds": round(write_seconds, 4),
+        "parse_seconds": round(parse_seconds, 4),
+        "edge_feature_seconds": round(edge_feature_seconds, 4),
+        "ingest_seconds": round(parse_seconds + edge_feature_seconds, 4),
+    }
+
+
+def scaling_exponent(sizes, key):
+    """Slope of log(time) vs log(n_gates) across the measured sizes."""
+    gates = np.array([s["n_gates"] for s in sizes], dtype=np.float64)
+    times = np.array([s[key] for s in sizes], dtype=np.float64)
+    slope = np.polyfit(np.log(gates), np.log(times), 1)[0]
+    return round(float(slope), 3)
+
+
+def run_benchmark(sizes=SIZES, repeats=REPEATS, smoke=False):
+    measured = [measure_size(rows, cols, repeats=repeats)
+                for rows, cols in sizes]
+    payload = {
+        "design_family": f"fsm_grid(width={WIDTH})",
+        "repeats": repeats,
+        "sizes": measured,
+        "host": host_metadata(best_of=repeats),
+    }
+    if not smoke:
+        largest = measured[-1]
+        payload["scaling_exponents"] = {
+            "netlist_build": scaling_exponent(
+                measured, "netlist_build_seconds"
+            ),
+            "parse": scaling_exponent(measured, "parse_seconds"),
+            "edge_feature": scaling_exponent(
+                measured, "edge_feature_seconds"
+            ),
+        }
+        payload["exponent_bound"] = EXPONENT_BOUND
+        payload["ingest_100k"] = {
+            "n_gates": largest["n_gates"],
+            "parse_seconds": largest["parse_seconds"],
+            "edge_feature_seconds": largest["edge_feature_seconds"],
+            "ingest_seconds": largest["ingest_seconds"],
+            "bound_seconds": INGEST_100K_BOUND_SECONDS,
+        }
+        payload["reference_100k"] = REFERENCE_100K
+    return payload
+
+
+def check_bounds(payload):
+    """Return a list of human-readable bound violations (empty = pass)."""
+    problems = []
+    for stage, exponent in payload["scaling_exponents"].items():
+        if exponent >= EXPONENT_BOUND:
+            problems.append(
+                f"{stage} scaling exponent {exponent} >= "
+                f"{EXPONENT_BOUND}"
+            )
+    ingest = payload["ingest_100k"]
+    if ingest["ingest_seconds"] >= INGEST_100K_BOUND_SECONDS:
+        problems.append(
+            f"{ingest['n_gates']}-gate ingest took "
+            f"{ingest['ingest_seconds']}s >= "
+            f"{INGEST_100K_BOUND_SECONDS}s"
+        )
+    return problems
+
+
+def test_frontend_scaling(benchmark, artifact):
+    """Tier-2 pytest entry: full measurement + asserted bounds.
+
+    Covers the 'a ~100k-gate ingest stays under the benchmark's bound'
+    regression: the largest size here is ~122k gates and the
+    parse -> features wall clock is asserted against
+    ``INGEST_100K_BOUND_SECONDS``.
+    """
+    payload = {}
+
+    def run():
+        payload.update(run_benchmark())
+        return payload
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    problems = check_bounds(payload)
+    assert not problems, problems
+    artifact(ARTIFACT, json.dumps(payload, indent=2))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes, single repeat, no artifact, "
+                             "no bounds (the CI guard)")
+    parser.add_argument("--out", metavar="FILE.json",
+                        help="write the payload here instead of "
+                             f"results/{ARTIFACT}")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        payload = run_benchmark(sizes=SMOKE_SIZES, repeats=1,
+                                smoke=True)
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    payload = run_benchmark()
+    text = json.dumps(payload, indent=2)
+    print(text)
+    problems = check_bounds(payload)
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    out = Path(args.out) if args.out else RESULTS_DIR / ARTIFACT
+    out.parent.mkdir(exist_ok=True)
+    out.write_text(text + "\n", encoding="utf-8")
+    print(f"\nartifact -> {out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+    sys.exit(main())

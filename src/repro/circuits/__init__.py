@@ -4,6 +4,7 @@ the additional UART validation subject."""
 
 from repro.circuits.builder import Bus, CircuitBuilder
 from repro.circuits.fsm import FsmInstance, FsmSpec, parse_guard, synthesize_fsm
+from repro.circuits.grid import build_fsm_grid
 from repro.circuits.library import (
     CounterPorts,
     FifoPorts,
@@ -35,6 +36,7 @@ __all__ = [
     "lfsr",
     "shift_register",
     "up_counter",
+    "build_fsm_grid",
     "build_or1200_icfsm",
     "build_or1200_if",
     "random_netlist",

@@ -13,6 +13,7 @@ bus in place.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import List, Optional, Sequence
 
 from repro.netlist.netlist import Netlist
@@ -37,6 +38,18 @@ class CircuitBuilder:
 
     def __init__(self, name: str):
         self.netlist = Netlist(name)
+
+    @contextmanager
+    def bulk(self):
+        """Deferred-invalidation construction mode.
+
+        Wrap long build programs so the per-gate
+        ``invalidate_structure`` calls collapse into one deferred cache
+        drop (see :meth:`Netlist.building`); large generators go from
+        quadratic cache churn to linear construction.
+        """
+        with self.netlist.building():
+            yield self
 
     # ------------------------------------------------------------------
     # ports and constants

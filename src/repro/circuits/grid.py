@@ -1,0 +1,135 @@
+"""Parameterized FSM×datapath grid families.
+
+Large synthetic designs for scaling the design corpus and for
+benchmarking the ingestion front end: a ``rows × cols`` grid of tiles,
+each combining a small control block with a ``width``-bit datapath
+(adder, xor/mux network, accumulator register).  Data flows east along
+each row and control flows south along each column, so the grid is one
+connected sequential design with deep combinational paths — the same
+shape as a flattened synthesized SoC block, at whatever size the
+caller asks for.
+
+Tile logic varies deterministically with ``(row, col, seed)``: state
+encodings alternate by tile parity and predicate constants are drawn
+from a seeded RNG, so two grids with the same parameters are identical
+netlists and different seeds give structurally different family
+members.
+
+At the default ``width=8`` a tile elaborates to roughly 115 gates;
+``build_fsm_grid(32, 32)`` is a ~100k-gate design.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.circuits.builder import Bus, CircuitBuilder
+from repro.netlist.netlist import Netlist
+
+N_STATES = 4
+
+
+def _tile(
+    builder: CircuitBuilder,
+    row: int,
+    col: int,
+    rst: int,
+    west: Bus,
+    north: int,
+    rng: random.Random,
+) -> Tuple[Bus, int]:
+    """Elaborate one tile; returns ``(east_bus, south_net)``."""
+    width = len(west)
+    tag = f"t{row}_{col}"
+
+    # Control: fire when the north neighbour raises its flag or the
+    # west word matches this tile's (seeded) magic constant.
+    sel_width = max(2, width // 2)
+    predicate = builder.equals_const(
+        west[:sel_width], rng.randrange(1 << sel_width)
+    )
+    advance = builder.and_(builder.or_(north, predicate),
+                           builder.not_(rst))
+
+    if (row + col) % 2 == 0:
+        # One-hot-style control: four enable-held state bits, each
+        # sampling a different mix of the west word.
+        state: Bus = [
+            builder.dffe(
+                builder.xor(west[i % width], west[(i + 1) % width]),
+                advance,
+                instance=f"{tag}_st{i}",
+            )
+            for i in range(N_STATES)
+        ]
+        active = builder.aoi22(state[0], state[1], state[2], state[3])
+    else:
+        # Binary-encoded control: two reset flops plus an incrementer.
+        state = [
+            builder.dffr(west[i % width], rst, instance=f"{tag}_st{i}")
+            for i in range(2)
+        ]
+        nxt, _ = builder.increment(state, enable=advance, carry_out=False)
+        active = builder.xor(nxt[0], nxt[1])
+
+    # Datapath: adder + xor/mux folding network + accumulator register.
+    total, carry = builder.add(
+        west, [builder.xor(w, active) for w in west]
+    )
+    folded = builder.bmux(active, total, builder.bxor(west, total))
+    acc = builder.register(folded, reset=rst, enable=advance)
+
+    east = [
+        builder.xor(a, builder.mux(active, w, t))
+        for a, w, t in zip(acc, west, total)
+    ]
+    south = builder.or_(
+        carry, builder.and_(active, state[0], state[1])
+    )
+    return east, south
+
+
+def build_fsm_grid(
+    rows: int,
+    cols: int,
+    width: int = 8,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> Netlist:
+    """Build a ``rows × cols`` FSM×datapath grid netlist.
+
+    ``width`` is the datapath word width; gate count scales as roughly
+    ``rows * cols * (14 * width + 20)``.  The result is deterministic
+    in ``(rows, cols, width, seed)`` and passes
+    :func:`repro.netlist.validate`.
+    """
+    rng = random.Random(f"fsm_grid:{rows}:{cols}:{width}:{seed}")
+    builder = CircuitBuilder(
+        name or f"fsm_grid_r{rows}c{cols}w{width}s{seed}"
+    )
+    with builder.bulk():
+        rst = builder.input("rst")
+        west_edges = [builder.input_bus(f"d{r}", width) for r in range(rows)]
+        north_edges = [builder.input(f"c{c}") for c in range(cols)]
+
+        south: List[int] = list(north_edges)
+        for r in range(rows):
+            word = west_edges[r]
+            for c in range(cols):
+                word, south[c] = _tile(builder, r, c, rst, word,
+                                       south[c], rng)
+            builder.output_bus(word, f"e{r}")
+        for c in range(cols):
+            builder.output(south[c], f"s{c}")
+
+        # Export any dangling nets so the design validates (same policy
+        # as random_circuits): every net is either consumed or observed.
+        netlist = builder.netlist
+        exported = {net for net, _ in netlist.primary_outputs}
+        extra = 0
+        for net in netlist.nets:
+            if not net.sinks and net.index not in exported:
+                netlist.add_output(net.index, f"aux_out_{extra}")
+                extra += 1
+    return netlist

@@ -41,6 +41,19 @@ def random_netlist(
     """
     rng = rng_from_seed(seed)
     netlist = Netlist(name or f"random_{n_gates}g")
+    with netlist.building():
+        return _populate(netlist, rng, n_inputs, n_gates, n_flops,
+                         n_outputs)
+
+
+def _populate(
+    netlist: Netlist,
+    rng,
+    n_inputs: int,
+    n_gates: int,
+    n_flops: int,
+    n_outputs: int,
+) -> Netlist:
     available = [netlist.add_input(f"in_{i}") for i in range(n_inputs)]
     if not available:
         raise ValueError("random_netlist needs at least one input")

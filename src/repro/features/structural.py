@@ -8,8 +8,6 @@ split) used by the ablation benchmarks.
 
 from __future__ import annotations
 
-from typing import Dict, List
-
 import numpy as np
 
 from repro.netlist.netlist import Netlist
@@ -39,9 +37,7 @@ def fanout_counts(netlist: Netlist) -> np.ndarray:
 
 def inverting_tags(netlist: Netlist) -> np.ndarray:
     """Per-gate Boolean tag: 1 when the cell negates logic (§3.1.4)."""
-    return np.array(
-        [1.0 if gate.cell.inverting else 0.0 for gate in netlist.gates]
-    )
+    return netlist.gate_arrays().inverting.astype(np.float64)
 
 
 def logic_levels(netlist: Netlist) -> np.ndarray:
@@ -51,9 +47,7 @@ def logic_levels(netlist: Netlist) -> np.ndarray:
 
 def is_sequential_flags(netlist: Netlist) -> np.ndarray:
     """Per-gate flag: 1 for flip-flops."""
-    return np.array(
-        [1.0 if gate.is_sequential else 0.0 for gate in netlist.gates]
-    )
+    return netlist.gate_arrays().sequential.astype(np.float64)
 
 
 def output_distances(netlist: Netlist) -> np.ndarray:
@@ -61,25 +55,31 @@ def output_distances(netlist: Netlist) -> np.ndarray:
     output, treating flip-flops as unit hops.  Gates that cannot reach
     an output get the design's gate count (should not happen in a
     validated netlist)."""
-    unreachable = float(netlist.n_gates)
-    distance = np.full(netlist.n_gates, unreachable)
+    n_gates = netlist.n_gates
+    unreachable = float(n_gates)
+    distance = np.full(n_gates, unreachable)
+    if n_gates == 0:
+        return distance
 
-    po_nets = {net for net, _ in netlist.primary_outputs}
-    frontier: List[int] = []
-    for gate in netlist.gates:
-        if gate.output in po_nets:
-            distance[gate.index] = 0.0
-            frontier.append(gate.index)
+    arrays = netlist.gate_arrays()
+    po_mask = np.zeros(netlist.n_nets, dtype=bool)
+    for net, _ in netlist.primary_outputs:
+        po_mask[net] = True
 
-    # Reverse BFS over driving gates, through the cached CSR rows.
+    # Level-synchronous reverse BFS over driving gates through the
+    # cached CSR fanin rows: the whole frontier expands in one gather
+    # per level instead of one Python loop iteration per edge.
     adjacency = netlist.gate_adjacency()
-    cursor = 0
-    while cursor < len(frontier):
-        gate_index = frontier[cursor]
-        cursor += 1
-        next_distance = distance[gate_index] + 1.0
-        for driver in adjacency.fanin_row(gate_index):
-            if next_distance < distance[driver]:
-                distance[driver] = next_distance
-                frontier.append(int(driver))
+    visited = np.zeros(n_gates, dtype=bool)
+    frontier = np.flatnonzero(po_mask[arrays.output_net])
+    visited[frontier] = True
+    level = 0.0
+    while frontier.size:
+        distance[frontier] = level
+        drivers = adjacency.fanin_rows(frontier)
+        if drivers.size:
+            drivers = np.unique(drivers[~visited[drivers]])
+        visited[drivers] = True
+        frontier = drivers
+        level += 1.0
     return distance

@@ -8,8 +8,6 @@ inputs/outputs are not nodes (the paper's nodes are netlist gates).
 
 from __future__ import annotations
 
-from typing import List, Tuple
-
 import networkx as nx
 import numpy as np
 
@@ -22,19 +20,19 @@ def netlist_edges(netlist: Netlist) -> np.ndarray:
     Self-loops from a flop's feedback port are excluded (normalization
     adds uniform self-loops separately, per Eq. 2).
     """
-    sources: List[int] = []
-    targets: List[int] = []
-    seen = set()
-    for gate in netlist.gates:
-        for sink in netlist.fanout_gates(gate):
-            key = (gate.index, sink)
-            if key not in seen:
-                seen.add(key)
-                sources.append(gate.index)
-                targets.append(sink)
-    if not sources:
+    adjacency = netlist.gate_adjacency()
+    targets = adjacency.fanout_indices
+    if targets.size == 0:
         return np.zeros((2, 0), dtype=np.int64)
-    return np.array([sources, targets], dtype=np.int64)
+    # Fanout CSR rows are already deduplicated per gate, so the edge
+    # list is one repeat + stack — no per-edge Python work.
+    sources = np.repeat(
+        np.arange(netlist.n_gates, dtype=np.int64),
+        np.diff(adjacency.fanout_indptr),
+    )
+    return np.stack(
+        [sources, targets.astype(np.int64, copy=False)], axis=0
+    )
 
 
 def undirected_edges(edge_index: np.ndarray) -> np.ndarray:

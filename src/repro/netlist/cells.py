@@ -30,6 +30,9 @@ from repro.utils.errors import NetlistError
 # arrive in declared port order.
 CellFunction = Callable[[Sequence[object], object], object]
 
+# Memoized truth tables, keyed by the (frozen, hashable) cell itself.
+_TRUTH_TABLE_CACHE: Dict["Cell", Tuple] = {}
+
 
 @dataclass(frozen=True)
 class Cell:
@@ -76,12 +79,19 @@ class Cell:
         """Enumerate the full truth table as ((inputs...), output) rows.
 
         Only meaningful for combinational cells with at least one input;
-        used by analytic signal-probability propagation.
+        used by analytic signal-probability propagation.  Memoized per
+        cell: probability propagation calls this once per gate per
+        fixpoint iteration, so recomputing 2^n rows each time dominated
+        large-design feature extraction.
         """
-        rows = []
-        for bits in product((0, 1), repeat=self.n_inputs):
-            rows.append((bits, int(self.function(bits, 1)) & 1))
-        return tuple(rows)
+        cached = _TRUTH_TABLE_CACHE.get(self)
+        if cached is None:
+            rows = []
+            for bits in product((0, 1), repeat=self.n_inputs):
+                rows.append((bits, int(self.function(bits, 1)) & 1))
+            cached = tuple(rows)
+            _TRUTH_TABLE_CACHE[self] = cached
+        return cached
 
     def output_probability(self, input_probabilities: Sequence[float]) -> float:
         """P(output == 1) given independent P(input_i == 1) values.

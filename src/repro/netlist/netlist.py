@@ -18,6 +18,7 @@ Conventions:
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -25,6 +26,90 @@ import numpy as np
 
 from repro.netlist.cells import Cell, FEEDBACK_PORTS, get_cell
 from repro.utils.errors import NetlistError
+
+
+def csr_gather(indptr: np.ndarray, indices: np.ndarray,
+               rows: np.ndarray) -> np.ndarray:
+    """Concatenate the CSR rows selected by ``rows``, in row order.
+
+    The vectorized equivalent of ``np.concatenate([indices[indptr[r]:
+    indptr[r + 1]] for r in rows])`` without the per-row Python loop;
+    shared by every frontier-BFS and graph-construction hot path.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    if rows.size == 0:
+        return np.zeros(0, dtype=indices.dtype)
+    starts = indptr[rows]
+    counts = indptr[rows + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=indices.dtype)
+    # Positions: for each selected row, starts[i] + (0..counts[i]-1).
+    offsets = np.repeat(np.cumsum(counts) - counts, counts)
+    positions = np.arange(total, dtype=np.int64) - offsets
+    return indices[np.repeat(starts, counts) + positions]
+
+
+def _dedup_rows(rows: np.ndarray, values: np.ndarray,
+                n_rows: int) -> Tuple[np.ndarray, np.ndarray]:
+    """CSR-pack ``(rows, values)`` pairs, deduplicated per row with
+    first-appearance order preserved.
+
+    ``rows`` must be non-decreasing (row-major entry order), which every
+    caller guarantees by building entries with :func:`np.repeat`.
+    """
+    indptr = np.zeros(n_rows + 1, dtype=np.int64)
+    if rows.size == 0:
+        return indptr, np.asarray([], dtype=np.int64)
+    key = rows * np.int64(n_rows) + values
+    _, first = np.unique(key, return_index=True)
+    first.sort()
+    kept_rows = rows[first]
+    indptr[1:] = np.cumsum(np.bincount(kept_rows, minlength=n_rows))
+    return indptr, values[first].astype(np.int64, copy=False)
+
+
+@dataclass(frozen=True)
+class GateArrays:
+    """Cached per-gate and per-net attribute arrays for one snapshot.
+
+    One linear pass over the Python ``Gate``/``Net`` objects turns the
+    pointer-chasing representation into flat numpy arrays; every
+    downstream O(V+E) pass (adjacency packing, levelization, edge and
+    feature extraction) then runs vectorized on these instead of
+    re-walking Python lists per gate.
+
+    Attributes:
+        sequential: ``(n_gates,)`` bool, True for flip-flops.
+        inverting: ``(n_gates,)`` bool, True for negating cells.
+        output_net: ``(n_gates,)`` driven net index per gate.
+        wired_inputs: ``(n_gates,)`` input connection counts with the
+            DFFE feedback port excluded (what :meth:`Netlist.fanin_count`
+            reports).
+        input_indptr / input_nets: CSR of every gate's input pins in
+            cell port order (feedback pins included).
+        net_driver: ``(n_nets,)`` driving gate index, ``-1`` for PIs.
+        sink_indptr / sink_gates: CSR of each net's reader gates in
+            sink-list order (one entry per connection, duplicates kept).
+    """
+
+    sequential: np.ndarray
+    inverting: np.ndarray
+    output_net: np.ndarray
+    wired_inputs: np.ndarray
+    input_indptr: np.ndarray
+    input_nets: np.ndarray
+    net_driver: np.ndarray
+    sink_indptr: np.ndarray
+    sink_gates: np.ndarray
+
+    def input_rows(self, gate_indices: np.ndarray) -> np.ndarray:
+        """Concatenated input-pin nets of the selected gates."""
+        return csr_gather(self.input_indptr, self.input_nets, gate_indices)
+
+    def sink_rows(self, net_indices: np.ndarray) -> np.ndarray:
+        """Concatenated reader gates of the selected nets."""
+        return csr_gather(self.sink_indptr, self.sink_gates, net_indices)
 
 
 @dataclass(frozen=True)
@@ -63,6 +148,16 @@ class GateAdjacency:
     def fanin_row(self, gate_index: int) -> np.ndarray:
         start, end = self.fanin_indptr[gate_index:gate_index + 2]
         return self.fanin_indices[start:end]
+
+    def fanout_rows(self, gate_indices: np.ndarray) -> np.ndarray:
+        """Concatenated fanout rows of the selected gates."""
+        return csr_gather(self.fanout_indptr, self.fanout_indices,
+                          gate_indices)
+
+    def fanin_rows(self, gate_indices: np.ndarray) -> np.ndarray:
+        """Concatenated fanin rows of the selected gates."""
+        return csr_gather(self.fanin_indptr, self.fanin_indices,
+                          gate_indices)
 
 
 @dataclass
@@ -135,20 +230,61 @@ class Netlist:
         self.primary_inputs: List[int] = []
         #: (net_index, port_name) pairs; one net may feed several outputs.
         self.primary_outputs: List[Tuple[int, str]] = []
+        self._output_ports: set = set()
         self._instance_counter = 0
         self._levels_cache: Optional[List[int]] = None
         self._adjacency_cache: Optional[GateAdjacency] = None
+        self._arrays_cache: Optional[GateArrays] = None
+        self._input_nets_cache: Optional[List[int]] = None
+        self._bulk_depth = 0
+        self._structure_dirty = False
 
     def invalidate_structure(self) -> None:
         """Drop connectivity-derived caches after a mutation.
 
         Every code path that edits nets, gate pins, or primary outputs
         must call this (construction helpers do so automatically); the
-        levelization and CSR adjacency caches are rebuilt lazily on
-        next use.
+        levelization, CSR adjacency, and attribute-array caches are
+        rebuilt lazily on next use.  Inside a :meth:`building` block the
+        drop is deferred: construction helpers may call this once per
+        gate, so bulk construction marks the caches dirty in O(1) and
+        clears them when the block exits (or on the next cached read).
         """
+        if self._bulk_depth:
+            self._structure_dirty = True
+            return
+        self._clear_caches()
+
+    def _clear_caches(self) -> None:
         self._levels_cache = None
         self._adjacency_cache = None
+        self._arrays_cache = None
+        self._input_nets_cache = None
+
+    def _flush_dirty(self) -> None:
+        """Apply a deferred invalidation before serving a cached read."""
+        if self._structure_dirty:
+            self._structure_dirty = False
+            self._clear_caches()
+
+    @contextmanager
+    def building(self):
+        """Bulk-construction mode: defer cache invalidation.
+
+        Wrap loops that add many gates (parsers, generators,
+        :class:`~repro.circuits.builder.CircuitBuilder` programs) so the
+        per-gate ``invalidate_structure`` calls collapse into a single
+        deferred drop.  Nests safely; cached reads issued inside the
+        block still see fresh data because every cache accessor flushes
+        the dirty flag first.
+        """
+        self._bulk_depth += 1
+        try:
+            yield self
+        finally:
+            self._bulk_depth -= 1
+            if self._bulk_depth == 0:
+                self._flush_dirty()
 
     # ------------------------------------------------------------------
     # construction
@@ -170,8 +306,11 @@ class Netlist:
         """Mark ``net`` as a primary output, optionally naming the port."""
         self._check_net(net)
         port = name if name is not None else self.nets[net].name
-        if any(existing == port for _, existing in self.primary_outputs):
+        # Set-based duplicate check: bulk output declaration (wide output
+        # buses, auto-exported dangling nets) stays O(1) per port.
+        if port in self._output_ports:
             raise NetlistError(f"duplicate output port {port!r}")
+        self._output_ports.add(port)
         self.primary_outputs.append((net, port))
         # Fanout connection counts include PO ports.
         self._adjacency_cache = None
@@ -237,6 +376,104 @@ class Netlist:
         self.invalidate_structure()
         return output_net
 
+    def attach_gate(
+        self,
+        cell_name: str,
+        inputs: Sequence[int],
+        output: int,
+        instance: str,
+    ) -> int:
+        """Instantiate ``cell_name`` driving the *existing* net ``output``.
+
+        The second phase of two-phase sequential construction: state
+        nets are created first so combinational logic may reference them
+        freely, then the flip-flops that drive them are attached.  Used
+        by the Verilog parser and :meth:`from_gates`.
+        """
+        cell = get_cell(cell_name)
+        feedback_port = FEEDBACK_PORTS.get(cell_name)
+        expected = cell.n_inputs - (1 if feedback_port else 0)
+        if len(inputs) != expected:
+            raise NetlistError(
+                f"cell {cell_name} expects {expected} wired inputs, "
+                f"got {len(inputs)}"
+            )
+        for net in inputs:
+            self._check_net(net)
+        self._check_net(output)
+        if self.nets[output].driver is not None:
+            raise NetlistError(
+                f"net {self.nets[output].name!r} has two drivers"
+            )
+        if instance in self._gate_by_instance:
+            raise NetlistError(f"duplicate instance name {instance!r}")
+
+        gate_index = len(self.gates)
+        wired = list(inputs)
+        if feedback_port:
+            wired.append(output)
+        gate = Gate(
+            index=gate_index,
+            instance=instance,
+            cell=cell,
+            inputs=tuple(wired),
+            output=output,
+        )
+        self.gates.append(gate)
+        self._gate_by_instance[instance] = gate_index
+        self.nets[output].driver = gate_index
+        for position, net in enumerate(gate.inputs):
+            self.nets[net].sinks.append((gate_index, position))
+        self.invalidate_structure()
+        return output
+
+    @classmethod
+    def from_gates(
+        cls,
+        name: str,
+        inputs: Sequence[str],
+        gates: Sequence[Tuple[str, str, Sequence[str], str]],
+        outputs: Sequence[Tuple[str, str]] = (),
+    ) -> "Netlist":
+        """Bulk-construct a netlist from name-level gate descriptions.
+
+        The fast path behind the Verilog reader: one
+        :meth:`building` block, two linear passes, no per-gate cache
+        invalidation.  ``gates`` entries are ``(cell_name, instance,
+        input_net_names, output_net_name)`` in final gate-index order;
+        ``outputs`` entries are ``(net_name, port_name)``.
+
+        Sequential cells' output nets are created up front (in gate
+        order) so combinational logic and flop data pins may reference
+        state nets regardless of position; combinational gates create
+        their own output net and must therefore appear after the gates
+        driving their inputs (topological order for the combinational
+        core).  DFFE feedback pins are wired automatically and must be
+        omitted from ``input_net_names``.
+        """
+        netlist = cls(name)
+        with netlist.building():
+            for input_name in inputs:
+                netlist.add_input(input_name)
+            for cell_name, _, _, output_name in gates:
+                if get_cell(cell_name).sequential:
+                    netlist._new_net(output_name)
+            for cell_name, instance, input_names, output_name in gates:
+                input_nets = [netlist.net_index(n) for n in input_names]
+                if get_cell(cell_name).sequential:
+                    netlist.attach_gate(
+                        cell_name, input_nets,
+                        netlist.net_index(output_name), instance,
+                    )
+                else:
+                    netlist.add_gate(
+                        cell_name, input_nets, instance=instance,
+                        output_name=output_name,
+                    )
+            for net_name, port in outputs:
+                netlist.add_output(netlist.net_index(net_name), port)
+        return netlist
+
     def _check_net(self, net: int) -> None:
         if not 0 <= net < len(self.nets):
             raise NetlistError(f"net index {net} out of range")
@@ -254,7 +491,7 @@ class Netlist:
 
     @property
     def n_inputs(self) -> int:
-        return sum(1 for net in self.nets if net.is_primary_input)
+        return len(self._input_net_list())
 
     @property
     def n_outputs(self) -> int:
@@ -285,13 +522,29 @@ class Netlist:
             )
         return gate
 
+    def _input_net_list(self) -> List[int]:
+        """The cached primary-input net list (internal, not a copy).
+
+        Cached because simulators and feature extractors call
+        :meth:`input_nets`/:attr:`n_inputs` repeatedly and a fresh
+        O(n_nets) scan per call dominates on large designs; dropped by
+        :meth:`invalidate_structure` (every net creation and driver
+        assignment goes through a path that calls it).
+        """
+        self._flush_dirty()
+        if self._input_nets_cache is None:
+            self._input_nets_cache = [
+                net.index for net in self.nets if net.is_primary_input
+            ]
+        return self._input_nets_cache
+
     def input_nets(self) -> List[int]:
         """Primary-input net indices in declaration order."""
-        return [net.index for net in self.nets if net.is_primary_input]
+        return list(self._input_net_list())
 
     def input_names(self) -> List[str]:
         """Primary-input net names in declaration order."""
-        return [net.name for net in self.nets if net.is_primary_input]
+        return [self.nets[net].name for net in self._input_net_list()]
 
     def output_names(self) -> List[str]:
         """Primary-output port names in declaration order."""
@@ -318,6 +571,58 @@ class Netlist:
     # ------------------------------------------------------------------
     # structural analysis
     # ------------------------------------------------------------------
+    def gate_arrays(self) -> GateArrays:
+        """Cached flat attribute arrays (see :class:`GateArrays`).
+
+        Built in one linear pass per structural state and dropped by
+        :meth:`invalidate_structure`; the vectorized adjacency,
+        levelization, edge, and feature paths all read these instead of
+        walking the Python object graph.
+        """
+        self._flush_dirty()
+        if self._arrays_cache is not None:
+            return self._arrays_cache
+
+        n_gates, n_nets = self.n_gates, self.n_nets
+        sequential: List[bool] = []
+        inverting: List[bool] = []
+        output_net: List[int] = []
+        wired_inputs: List[int] = []
+        input_indptr = np.zeros(n_gates + 1, dtype=np.int64)
+        input_flat: List[int] = []
+        for gate in self.gates:
+            cell = gate.cell
+            sequential.append(cell.sequential)
+            inverting.append(cell.inverting)
+            output_net.append(gate.output)
+            wired_inputs.append(
+                len(gate.inputs) - (1 if cell.name in FEEDBACK_PORTS else 0)
+            )
+            input_flat.extend(gate.inputs)
+            input_indptr[gate.index + 1] = len(input_flat)
+
+        net_driver = np.full(n_nets, -1, dtype=np.int64)
+        sink_indptr = np.zeros(n_nets + 1, dtype=np.int64)
+        sink_flat: List[int] = []
+        for net in self.nets:
+            if net.driver is not None:
+                net_driver[net.index] = net.driver
+            sink_flat.extend(sink_gate for sink_gate, _ in net.sinks)
+            sink_indptr[net.index + 1] = len(sink_flat)
+
+        self._arrays_cache = GateArrays(
+            sequential=np.asarray(sequential, dtype=bool),
+            inverting=np.asarray(inverting, dtype=bool),
+            output_net=np.asarray(output_net, dtype=np.int64),
+            wired_inputs=np.asarray(wired_inputs, dtype=np.int64),
+            input_indptr=input_indptr,
+            input_nets=np.asarray(input_flat, dtype=np.int64),
+            net_driver=net_driver,
+            sink_indptr=sink_indptr,
+            sink_gates=np.asarray(sink_flat, dtype=np.int64),
+        )
+        return self._arrays_cache
+
     def levelize(self) -> List[int]:
         """Topological level per gate.
 
@@ -326,71 +631,76 @@ class Netlist:
         drivers sits one level above the deepest of them, and a gate
         fed only by primary inputs or flops sits at level 0.  Raises
         :class:`NetlistError` on a combinational loop.
+
+        Computed as a level-synchronous Kahn frontier BFS over the
+        cached CSR arrays — O(V+E) with vectorized per-level work, so
+        deep combinational chains levelize in linear time.
         """
+        self._flush_dirty()
         if self._levels_cache is not None:
             return list(self._levels_cache)
 
-        levels = [0] * self.n_gates
-        # Count unresolved combinational fanins per gate.
-        pending = [0] * self.n_gates
-        ready: List[int] = []
-        for gate in self.gates:
-            if gate.is_sequential:
-                ready.append(gate.index)
-                continue
-            unresolved = 0
-            for net in gate.inputs:
-                driver = self.nets[net].driver
-                if driver is not None and not self.gates[driver].is_sequential:
-                    unresolved += 1
-            pending[gate.index] = unresolved
-            if unresolved == 0:
-                ready.append(gate.index)
+        n_gates = self.n_gates
+        arrays = self.gate_arrays()
+        combinational = ~arrays.sequential
 
-        order: List[int] = []
-        cursor = 0
-        while cursor < len(ready):
-            gate_index = ready[cursor]
-            cursor += 1
-            order.append(gate_index)
-            gate = self.gates[gate_index]
-            if gate.is_sequential:
-                continue
-            for sink_gate, _ in self.nets[gate.output].sinks:
-                sink = self.gates[sink_gate]
-                if sink.is_sequential:
-                    continue
-                pending[sink_gate] -= 1
-                if pending[sink_gate] == 0:
-                    levels[sink_gate] = 1 + max(
-                        (
-                            levels[self.nets[net].driver]
-                            for net in sink.inputs
-                            if self.nets[net].driver is not None
-                            and not self.gates[
-                                self.nets[net].driver
-                            ].is_sequential
-                        ),
-                        default=0,
-                    )
-                    ready.append(sink_gate)
+        # Pending count per gate: input pins of combinational gates
+        # whose driver is a combinational gate (duplicate connections
+        # count once per pin, matching one decrement per sink entry).
+        pin_gate = np.repeat(
+            np.arange(n_gates, dtype=np.int64),
+            np.diff(arrays.input_indptr),
+        )
+        pin_driver = arrays.net_driver[arrays.input_nets]
+        driven = pin_driver >= 0
+        contributes = np.zeros(pin_gate.shape, dtype=bool)
+        contributes[driven] = (
+            combinational[pin_driver[driven]]
+            & combinational[pin_gate[driven]]
+        )
+        pending = np.bincount(
+            pin_gate[contributes], minlength=n_gates
+        ).astype(np.int64)
 
-        if len(order) != self.n_gates:
+        levels = np.zeros(n_gates, dtype=np.int64)
+        done = arrays.sequential.copy()
+        frontier = np.flatnonzero(combinational & (pending == 0))
+        done[frontier] = True
+        level = 0
+        while frontier.size:
+            # One decrement per sink connection of the frontier's
+            # output nets; newly-exhausted gates sit one level deeper.
+            sinks = arrays.sink_rows(arrays.output_net[frontier])
+            if sinks.size:
+                sinks = sinks[combinational[sinks]]
+            decrement = np.bincount(sinks, minlength=n_gates)
+            pending -= decrement
+            newly = np.flatnonzero(
+                (decrement > 0) & (pending == 0) & ~done
+            )
+            level += 1
+            levels[newly] = level
+            done[newly] = True
+            frontier = newly
+
+        if not bool(done.all()):
             stuck = [
                 self.gates[i].node_name
-                for i in range(self.n_gates)
-                if i not in set(order)
+                for i in np.flatnonzero(~done)
             ]
             raise NetlistError(
                 f"combinational loop involving gates: {stuck[:8]}"
             )
-        self._levels_cache = levels
-        return list(levels)
+        self._levels_cache = levels.tolist()
+        return list(self._levels_cache)
 
     def topological_order(self) -> List[int]:
         """Gate indices sorted so combinational drivers precede sinks."""
-        levels = self.levelize()
-        return sorted(range(self.n_gates), key=lambda i: (levels[i], i))
+        levels = np.asarray(self.levelize(), dtype=np.int64)
+        order = np.lexsort(
+            (np.arange(self.n_gates, dtype=np.int64), levels)
+        )
+        return order.tolist()
 
     def depth(self) -> int:
         """Maximum combinational level in the design."""
@@ -405,53 +715,50 @@ class Netlist:
         (feature extraction, cone BFS, graph construction) share it
         instead of re-scanning Python sink lists per call.
         """
+        self._flush_dirty()
         if self._adjacency_cache is not None:
             return self._adjacency_cache
 
         n = self.n_gates
-        po_ports = [0] * self.n_nets
-        for net, _ in self.primary_outputs:
-            po_ports[net] += 1
+        arrays = self.gate_arrays()
 
-        fanout_lists: List[List[int]] = []
-        fanin_lists: List[List[int]] = []
-        fanin_connections = np.zeros(n, dtype=np.int64)
-        fanout_connections = np.zeros(n, dtype=np.int64)
-        for gate in self.gates:
-            feedback = FEEDBACK_PORTS.get(gate.cell.name)
-            fanin_connections[gate.index] = (
-                len(gate.inputs) - (1 if feedback else 0)
+        # Fanin: one candidate edge per wired input pin, in port order;
+        # drop undriven pins and self-loops (DFFE feedback), then dedup
+        # keeping first appearance per gate.
+        pin_gate = np.repeat(
+            np.arange(n, dtype=np.int64), np.diff(arrays.input_indptr)
+        )
+        pin_driver = arrays.net_driver[arrays.input_nets]
+        keep = (pin_driver >= 0) & (pin_driver != pin_gate)
+        fanin_indptr, fanin_indices = _dedup_rows(
+            pin_gate[keep], pin_driver[keep], n
+        )
+        fanin_connections = arrays.wired_inputs.copy()
+
+        # Fanout: one candidate edge per sink connection of each gate's
+        # output net, in sink-list order (rewiring can reorder sink
+        # lists, so CSR order must follow the lists, not gate index).
+        sink_counts = np.diff(arrays.sink_indptr)
+        out_rows = np.repeat(
+            np.arange(n, dtype=np.int64), sink_counts[arrays.output_net]
+        )
+        out_sinks = arrays.sink_rows(arrays.output_net)
+        keep = out_sinks != out_rows
+        po_ports = np.zeros(self.n_nets, dtype=np.int64)
+        if self.primary_outputs:
+            po_nets = np.asarray(
+                [net for net, _ in self.primary_outputs], dtype=np.int64
             )
-            drivers: List[int] = []
-            for net in gate.inputs:
-                driver = self.nets[net].driver
-                if (driver is not None and driver != gate.index
-                        and driver not in drivers):
-                    drivers.append(driver)
-            fanin_lists.append(drivers)
-
-            readers: List[int] = []
-            connections = 0
-            for sink_gate, _ in self.nets[gate.output].sinks:
-                if sink_gate == gate.index:
-                    continue
-                connections += 1
-                if sink_gate not in readers:
-                    readers.append(sink_gate)
-            fanout_lists.append(readers)
-            fanout_connections[gate.index] = (
-                connections + po_ports[gate.output]
-            )
-
-        def pack(rows: List[List[int]]):
-            indptr = np.zeros(n + 1, dtype=np.int64)
-            for i, row in enumerate(rows):
-                indptr[i + 1] = indptr[i] + len(row)
-            flat = [g for row in rows for g in row]
-            return indptr, np.asarray(flat, dtype=np.int64)
-
-        fanout_indptr, fanout_indices = pack(fanout_lists)
-        fanin_indptr, fanin_indices = pack(fanin_lists)
+            po_ports = np.bincount(
+                po_nets, minlength=self.n_nets
+            ).astype(np.int64)
+        fanout_connections = (
+            np.bincount(out_rows[keep], minlength=n).astype(np.int64)
+            + po_ports[arrays.output_net]
+        )
+        fanout_indptr, fanout_indices = _dedup_rows(
+            out_rows[keep], out_sinks[keep], n
+        )
         self._adjacency_cache = GateAdjacency(
             fanout_indptr=fanout_indptr,
             fanout_indices=fanout_indices,

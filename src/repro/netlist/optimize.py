@@ -126,8 +126,6 @@ def optimize_netlist(netlist: Netlist):
 
     # Flop outputs first (legal sequential feedback), then the
     # combinational gates in topological order, then flop inputs.
-    from repro.netlist.verilog import _attach_flop
-
     live_flops = [
         netlist.gates[i] for i in sorted(live_gates)
         if netlist.gates[i].is_sequential
@@ -174,10 +172,11 @@ def optimize_netlist(netlist: Netlist):
     for gate in live_flops:
         feedback = FEEDBACK_PORTS.get(gate.cell.name)
         wired = gate.inputs[:-1] if feedback else gate.inputs
-        _attach_flop(
-            optimized, gate.cell.name, gate.instance,
+        optimized.attach_gate(
+            gate.cell.name,
             [mapped(net) for net in wired],
             net_map[gate.output],
+            gate.instance,
         )
 
     for gate in netlist.sequential_gates():

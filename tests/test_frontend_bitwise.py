@@ -1,0 +1,479 @@
+"""Bitwise guardrail for the linear-time ingestion front end.
+
+The streaming parser, bulk construction mode, vectorized adjacency /
+levelization, edge extraction, and feature columns must produce
+*bitwise-identical* results to the historical implementations.  Each
+reference below is a faithful copy of the pre-rewrite code (repeated
+statement sweeps, per-gate Python loops); the tests compare them
+against the shipping paths on the bundled designs (or1200_if, uart,
+sdram controller, icfsm), randomized netlists, and grid designs.
+"""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    build_fsm_grid,
+    build_or1200_icfsm,
+    build_or1200_if,
+    build_sdram_controller,
+    build_uart,
+    random_netlist,
+)
+from repro.features.extract import extract_features
+from repro.features.structural import (
+    inverting_tags,
+    is_sequential_flags,
+    output_distances,
+)
+from repro.graph.build import netlist_edges
+from repro.netlist import Netlist, from_verilog, to_verilog
+from repro.netlist.cells import FEEDBACK_PORTS, LIBRARY, get_cell
+from repro.netlist.verilog import output_port_name
+from repro.utils.errors import NetlistError
+
+
+# ----------------------------------------------------------------------
+# designs under test
+# ----------------------------------------------------------------------
+def _designs():
+    designs = [
+        build_or1200_if(),
+        build_uart(),
+        build_sdram_controller(),
+        build_or1200_icfsm(),
+        build_fsm_grid(3, 3, width=4, seed=5),
+    ]
+    for seed in range(4):
+        designs.append(
+            random_netlist(n_inputs=5, n_gates=35, n_flops=5,
+                           n_outputs=4, seed=seed,
+                           name=f"rand_{seed}")
+        )
+    return designs
+
+
+@pytest.fixture(scope="module")
+def designs():
+    return _designs()
+
+
+def snapshot(netlist: Netlist):
+    """Full structural identity of a netlist, indices included."""
+    return {
+        "name": netlist.name,
+        "nets": [
+            (net.index, net.name, net.driver, tuple(net.sinks))
+            for net in netlist.nets
+        ],
+        "gates": [
+            (gate.index, gate.instance, gate.cell.name, gate.inputs,
+             gate.output)
+            for gate in netlist.gates
+        ],
+        "outputs": list(netlist.primary_outputs),
+    }
+
+
+# ----------------------------------------------------------------------
+# reference implementations (pre-rewrite code, verbatim semantics)
+# ----------------------------------------------------------------------
+def reference_adjacency(netlist):
+    """Old per-gate Python-loop CSR adjacency build."""
+    n = netlist.n_gates
+    po_ports = [0] * netlist.n_nets
+    for net, _ in netlist.primary_outputs:
+        po_ports[net] += 1
+
+    fanout_lists, fanin_lists = [], []
+    fanin_connections = np.zeros(n, dtype=np.int64)
+    fanout_connections = np.zeros(n, dtype=np.int64)
+    for gate in netlist.gates:
+        feedback = FEEDBACK_PORTS.get(gate.cell.name)
+        fanin_connections[gate.index] = (
+            len(gate.inputs) - (1 if feedback else 0)
+        )
+        drivers = []
+        for net in gate.inputs:
+            driver = netlist.nets[net].driver
+            if (driver is not None and driver != gate.index
+                    and driver not in drivers):
+                drivers.append(driver)
+        fanin_lists.append(drivers)
+
+        readers = []
+        connections = 0
+        for sink_gate, _ in netlist.nets[gate.output].sinks:
+            if sink_gate == gate.index:
+                continue
+            connections += 1
+            if sink_gate not in readers:
+                readers.append(sink_gate)
+        fanout_lists.append(readers)
+        fanout_connections[gate.index] = (
+            connections + po_ports[gate.output]
+        )
+
+    def pack(rows):
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        for i, row in enumerate(rows):
+            indptr[i + 1] = indptr[i] + len(row)
+        flat = [g for row in rows for g in row]
+        return indptr, np.asarray(flat, dtype=np.int64)
+
+    fanout_indptr, fanout_indices = pack(fanout_lists)
+    fanin_indptr, fanin_indices = pack(fanin_lists)
+    return {
+        "fanout_indptr": fanout_indptr,
+        "fanout_indices": fanout_indices,
+        "fanin_indptr": fanin_indptr,
+        "fanin_indices": fanin_indices,
+        "fanin_connections": fanin_connections,
+        "fanout_connections": fanout_connections,
+    }
+
+
+def reference_levelize(netlist):
+    """Old per-gate Kahn loop with repeated max over drivers."""
+    levels = [0] * netlist.n_gates
+    pending = [0] * netlist.n_gates
+    ready = []
+    for gate in netlist.gates:
+        if gate.is_sequential:
+            ready.append(gate.index)
+            continue
+        unresolved = 0
+        for net in gate.inputs:
+            driver = netlist.nets[net].driver
+            if driver is not None and not netlist.gates[driver].is_sequential:
+                unresolved += 1
+        pending[gate.index] = unresolved
+        if unresolved == 0:
+            ready.append(gate.index)
+
+    cursor = 0
+    order = []
+    while cursor < len(ready):
+        gate_index = ready[cursor]
+        cursor += 1
+        order.append(gate_index)
+        gate = netlist.gates[gate_index]
+        if gate.is_sequential:
+            continue
+        for sink_gate, _ in netlist.nets[gate.output].sinks:
+            sink = netlist.gates[sink_gate]
+            if sink.is_sequential:
+                continue
+            pending[sink_gate] -= 1
+            if pending[sink_gate] == 0:
+                levels[sink_gate] = 1 + max(
+                    (
+                        levels[netlist.nets[net].driver]
+                        for net in sink.inputs
+                        if netlist.nets[net].driver is not None
+                        and not netlist.gates[
+                            netlist.nets[net].driver
+                        ].is_sequential
+                    ),
+                    default=0,
+                )
+                ready.append(sink_gate)
+    assert len(order) == netlist.n_gates
+    return levels
+
+
+def reference_edges(netlist):
+    """Old seen-set edge extraction over reference adjacency rows."""
+    adjacency = reference_adjacency(netlist)
+    indptr, indices = (
+        adjacency["fanout_indptr"], adjacency["fanout_indices"]
+    )
+    sources, targets = [], []
+    seen = set()
+    for gate in netlist.gates:
+        row = indices[indptr[gate.index]:indptr[gate.index + 1]]
+        for sink in row:
+            key = (gate.index, int(sink))
+            if key not in seen:
+                seen.add(key)
+                sources.append(gate.index)
+                targets.append(int(sink))
+    if not sources:
+        return np.zeros((2, 0), dtype=np.int64)
+    return np.array([sources, targets], dtype=np.int64)
+
+
+def reference_output_distances(netlist):
+    """Old Python BFS from primary-output gates over fanin rows."""
+    unreachable = float(netlist.n_gates)
+    distance = np.full(netlist.n_gates, unreachable)
+    po_nets = {net for net, _ in netlist.primary_outputs}
+    frontier = []
+    for gate in netlist.gates:
+        if gate.output in po_nets:
+            distance[gate.index] = 0.0
+            frontier.append(gate.index)
+    adjacency = reference_adjacency(netlist)
+    indptr, indices = (
+        adjacency["fanin_indptr"], adjacency["fanin_indices"]
+    )
+    cursor = 0
+    while cursor < len(frontier):
+        gate_index = frontier[cursor]
+        cursor += 1
+        next_distance = distance[gate_index] + 1.0
+        for driver in indices[indptr[gate_index]:indptr[gate_index + 1]]:
+            if next_distance < distance[driver]:
+                distance[driver] = next_distance
+                frontier.append(int(driver))
+    return distance
+
+
+def reference_from_verilog(text):
+    """Old repeated-sweep parser (whole-body regex, O(n^2) resolve)."""
+    ident = r"[A-Za-z_][A-Za-z0-9_$]*"
+    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.DOTALL)
+    text = re.sub(r"//[^\n]*", " ", text)
+    module_match = re.search(
+        rf"\bmodule\s+({ident})\s*\((.*?)\)\s*;(.*?)\bendmodule\b",
+        text, flags=re.DOTALL,
+    )
+    assert module_match, "reference parser: no module"
+    module_name, _, body = module_match.groups()
+
+    inputs, outputs, assigns, instances = [], [], [], []
+    connection_re = re.compile(rf"\.({ident})\s*\(\s*({ident})\s*\)")
+    instance_re = re.compile(
+        rf"^({ident})\s+({ident})\s*\((.*)\)$", flags=re.DOTALL
+    )
+    for statement in (p.strip() for p in body.split(";") if p.strip()):
+        head = statement.split(None, 1)[0]
+        if head in ("input", "output", "wire"):
+            names = statement[len(head):].replace(",", " ").split()
+            if head == "input":
+                inputs.extend(names)
+            elif head == "output":
+                outputs.extend(names)
+            continue
+        if head == "assign":
+            match = re.match(
+                rf"assign\s+({ident})\s*=\s*({ident})$", statement
+            )
+            assert match, f"reference parser: assign {statement!r}"
+            assigns.append((match.group(1), match.group(2)))
+            continue
+        match = instance_re.match(statement)
+        assert match, f"reference parser: statement {statement!r}"
+        cell_name, instance, connection_text = match.groups()
+        assert cell_name in LIBRARY
+        connections = dict(connection_re.findall(connection_text))
+        out_port = output_port_name(cell_name)
+        instances.append(
+            (cell_name, instance, connections, connections[out_port])
+        )
+
+    netlist = Netlist(module_name)
+    net_ids = {}
+    for name in inputs:
+        net_ids[name] = netlist.add_input(name)
+
+    def wired_ports(cell_name):
+        feedback = FEEDBACK_PORTS.get(cell_name)
+        return [p for p in get_cell(cell_name).ports if p != feedback]
+
+    flops = [i for i in instances if get_cell(i[0]).sequential]
+    combinational = [
+        i for i in instances if not get_cell(i[0]).sequential
+    ]
+    for cell_name, instance, connections, output_net in flops:
+        assert output_net not in net_ids
+        net_ids[output_net] = netlist._new_net(output_net)  # noqa: SLF001
+
+    pending = list(combinational)
+    pending_assigns = list(assigns)
+    progress = True
+    while (pending or pending_assigns) and progress:
+        progress = False
+        for item in list(pending):
+            cell_name, instance, connections, output_net = item
+            names = [connections[p] for p in wired_ports(cell_name)]
+            if not all(name in net_ids for name in names):
+                continue
+            net_ids[output_net] = netlist.add_gate(
+                cell_name, [net_ids[n] for n in names],
+                instance=instance, output_name=output_net,
+            )
+            pending.remove(item)
+            progress = True
+        for lhs, rhs in list(pending_assigns):
+            if rhs in net_ids and lhs not in net_ids:
+                net_ids[lhs] = net_ids[rhs]
+                pending_assigns.remove((lhs, rhs))
+                progress = True
+    assert not pending and not pending_assigns
+
+    for cell_name, instance, connections, output_net in flops:
+        input_nets = [
+            net_ids[connections[p]] for p in wired_ports(cell_name)
+        ]
+        netlist.attach_gate(
+            cell_name, input_nets, net_ids[output_net], instance
+        )
+    for name in outputs:
+        netlist.add_output(net_ids[name], name)
+    return netlist
+
+
+# ----------------------------------------------------------------------
+# guardrail tests
+# ----------------------------------------------------------------------
+def test_parser_bitwise_identical_to_sweep_parser(designs):
+    for design in designs:
+        source = to_verilog(design)
+        new = from_verilog(source)
+        old = reference_from_verilog(source)
+        assert snapshot(new) == snapshot(old), design.name
+
+
+def test_parser_bitwise_identical_on_shuffled_statements(designs):
+    # Statement order must not matter; the rounds schedule has to
+    # replicate the old sweeps even when gates appear before drivers.
+    rng = np.random.default_rng(13)
+    for design in designs[:4]:
+        lines = to_verilog(design).splitlines()
+        gate_lines = [
+            i for i, line in enumerate(lines)
+            if line.strip().split(" ")[0] in LIBRARY
+        ]
+        shuffled = list(lines)
+        order = rng.permutation(len(gate_lines))
+        for slot, take in zip(gate_lines, order):
+            shuffled[slot] = lines[gate_lines[take]]
+        source = "\n".join(shuffled)
+        assert snapshot(from_verilog(source)) == snapshot(
+            reference_from_verilog(source)
+        ), design.name
+
+
+def test_adjacency_bitwise_identical(designs):
+    for design in designs:
+        reference = reference_adjacency(design)
+        adjacency = design.gate_adjacency()
+        for field in reference:
+            assert np.array_equal(
+                getattr(adjacency, field), reference[field]
+            ), (design.name, field)
+
+
+def test_levelize_bitwise_identical(designs):
+    for design in designs:
+        assert design.levelize() == reference_levelize(design), design.name
+
+
+def test_topological_order_matches_sorted_levels(designs):
+    for design in designs:
+        levels = design.levelize()
+        expected = sorted(range(design.n_gates),
+                          key=lambda i: (levels[i], i))
+        assert design.topological_order() == expected, design.name
+
+
+def test_edges_bitwise_identical(designs):
+    for design in designs:
+        assert np.array_equal(
+            netlist_edges(design), reference_edges(design)
+        ), design.name
+
+
+def test_feature_columns_bitwise_identical(designs):
+    for design in designs:
+        assert np.array_equal(
+            inverting_tags(design),
+            np.array([1.0 if g.cell.inverting else 0.0
+                      for g in design.gates]),
+        ), design.name
+        assert np.array_equal(
+            is_sequential_flags(design),
+            np.array([1.0 if g.is_sequential else 0.0
+                      for g in design.gates]),
+        ), design.name
+        assert np.array_equal(
+            output_distances(design), reference_output_distances(design)
+        ), design.name
+
+
+def test_feature_matrix_bitwise_stable_through_parser(designs):
+    # Parse -> features must equal direct features on the parsed
+    # netlist regardless of which construction path built it.
+    for design in designs[:4]:
+        parsed = from_verilog(to_verilog(design))
+        reference = reference_from_verilog(to_verilog(design))
+        a = extract_features(parsed, probability_source="cop")
+        b = extract_features(reference, probability_source="cop")
+        assert np.array_equal(a.matrix, b.matrix), design.name
+        assert np.array_equal(
+            netlist_edges(parsed), netlist_edges(reference)
+        ), design.name
+
+
+def test_bulk_construction_identical_to_incremental():
+    # The deferred-invalidation path must not change what gets built.
+    def build(bulk):
+        netlist = Netlist("bulkdemo")
+        def program():
+            a = netlist.add_input("a")
+            b = netlist.add_input("b")
+            n1 = netlist.add_gate("ND2", [a, b], instance="U1")
+            n2 = netlist.add_gate("IV", [n1], instance="U2")
+            q = netlist.add_gate("DFFE", [n2, a], instance="R1")
+            netlist.add_gate("XOR2", [n2, q], instance="U3",
+                             output_name="y")
+            netlist.add_output(netlist.net_index("y"), "y")
+        if bulk:
+            with netlist.building():
+                program()
+        else:
+            program()
+        return netlist
+
+    incremental, bulk = build(False), build(True)
+    assert snapshot(incremental) == snapshot(bulk)
+    assert incremental.levelize() == bulk.levelize()
+    assert np.array_equal(netlist_edges(incremental),
+                          netlist_edges(bulk))
+
+
+def test_reads_inside_bulk_mode_are_fresh():
+    netlist = Netlist("fresh")
+    with netlist.building():
+        a = netlist.add_input("a")
+        netlist.add_gate("IV", [a], instance="U1", output_name="y")
+        assert netlist.n_inputs == 1
+        assert netlist.levelize() == [0]
+        b = netlist.add_input("b")
+        netlist.add_gate("AN2", [netlist.net_index("y"), b],
+                         instance="U2")
+        # Cache invalidation was deferred, but reads must see U2.
+        assert netlist.levelize() == [0, 1]
+        assert netlist.n_inputs == 2
+    assert netlist.gate_adjacency().fanout_indices.tolist() == [1]
+
+
+def test_levelize_loop_error_matches_old_message():
+    netlist = Netlist("loopy")
+    a = netlist.add_input("a")
+    with netlist.building():
+        # Build a 2-gate combinational loop by rewiring.
+        n1 = netlist.add_gate("AN2", [a, a], instance="U1")
+        n2 = netlist.add_gate("OR2", [n1, a], instance="U2")
+        gate = netlist.gates[0]
+        gate.inputs = (a, n2)
+        netlist.nets[a].sinks.remove((0, 1))
+        netlist.nets[n2].sinks.append((0, 1))
+        netlist.invalidate_structure()
+    with pytest.raises(NetlistError,
+                       match=r"combinational loop involving gates: "
+                             r"\['AN2_U1', 'OR2_U2'\]"):
+        netlist.levelize()

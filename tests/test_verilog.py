@@ -150,3 +150,157 @@ def test_parse_combinational_loop_rejected():
     """
     with pytest.raises(NetlistError, match="could not resolve"):
         from_verilog(source)
+
+
+# ----------------------------------------------------------------------
+# line-numbered parse errors
+# ----------------------------------------------------------------------
+def parse_error(source):
+    with pytest.raises(NetlistError) as excinfo:
+        from_verilog(source)
+    return str(excinfo.value)
+
+
+def test_error_unknown_cell_reports_line():
+    message = parse_error(
+        "module m (a, y);\n"
+        "  input a;\n"
+        "  output y;\n"
+        "  FOO U1 (.A0(a), .Y(y));\n"
+        "endmodule\n"
+    )
+    assert "line 4" in message and "unknown cell 'FOO'" in message
+
+
+def test_error_missing_output_connection_reports_line():
+    message = parse_error(
+        "module m (a, y);\n"
+        "  input a; output y;\n"
+        "  IV U1 (.A0(a));\n"
+        "endmodule\n"
+    )
+    assert "line 3" in message
+    assert "no output connection .Y(...)" in message
+
+
+def test_error_missing_input_connection_reports_line():
+    message = parse_error(
+        "module m (a, y);\n"
+        "  input a; output y;\n"
+        "  ND2 U1 (.A0(a), .Y(y));\n"
+        "endmodule\n"
+    )
+    assert "line 3" in message
+    assert "missing connection .A1(...)" in message
+
+
+def test_error_two_drivers_reports_line():
+    message = parse_error(
+        "module m (a, y);\n"
+        "  input a; output y;\n"
+        "  IV U1 (.A0(a), .Y(y));\n"
+        "  IV U2 (.A0(a), .Y(y));\n"
+        "endmodule\n"
+    )
+    assert "line 4" in message and "net 'y' has two drivers" in message
+
+
+def test_error_two_drivers_flop_vs_gate_reports_line():
+    message = parse_error(
+        "module m (a, y);\n"
+        "  input a; output y;\n"
+        "  IV U1 (.A0(a), .Y(q));\n"
+        "  DFF R1 (.D(a), .Q(q));\n"
+        "  IV U2 (.A0(q), .Y(y));\n"
+        "endmodule\n"
+    )
+    assert "line 4" in message and "net 'q' has two drivers" in message
+
+
+def test_error_never_driven_reports_line():
+    message = parse_error(
+        "module m (a, y);\n"
+        "  input a; output y;\n"
+        "  IV U1 (.A0(nx), .Y(y));\n"
+        "endmodule\n"
+    )
+    assert "line 3" in message and "never driven" in message
+
+
+def test_error_undriven_output_reports_line():
+    message = parse_error(
+        "module m (a, y);\n"
+        "  input a;\n"
+        "  output y;\n"
+        "  BUF U1 (.A0(a), .Y(n1));\n"
+        "endmodule\n"
+    )
+    assert "line 3" in message and "output 'y' never driven" in message
+
+
+def test_error_combinational_loop_reports_lines():
+    message = parse_error(
+        "module loopy (a, y);\n"
+        "  input a; output y;\n"
+        "  AN2 U1 (.A0(a), .A1(n2), .Y(n1));\n"
+        "  OR2 U2 (.A0(n1), .A1(a), .Y(n2));\n"
+        "  BUF U3 (.A0(n1), .Y(y));\n"
+        "endmodule\n"
+    )
+    assert "could not resolve drivers for ['U1', 'U2', 'U3']" in message
+    assert "at lines [3, 4, 5]" in message
+
+
+def test_error_unsupported_assign_reports_line():
+    message = parse_error(
+        "module m (a, y);\n"
+        "  input a; output y;\n"
+        "  assign y = a & a;\n"
+        "endmodule\n"
+    )
+    assert "line 3" in message and "unsupported assign" in message
+
+
+def test_error_duplicate_instance_reports_line():
+    message = parse_error(
+        "module m (a, y);\n"
+        "  input a; output y;\n"
+        "  IV U1 (.A0(a), .Y(n1));\n"
+        "  IV U1 (.A0(n1), .Y(y));\n"
+        "endmodule\n"
+    )
+    assert "line 4" in message
+    assert "duplicate instance name 'U1'" in message
+
+
+def test_error_unterminated_comment_reports_line():
+    message = parse_error(
+        "module m (a, y);\n"
+        "  input a; output y;\n"
+        "  /* oops\n"
+        "  IV U1 (.A0(a), .Y(y));\n"
+        "endmodule\n"
+    )
+    assert "line 3" in message
+    assert "unterminated block comment" in message
+
+
+def test_multiline_statements_report_first_line():
+    message = parse_error(
+        "module m (a, y);\n"
+        "  input a; output y;\n"
+        "\n"
+        "  FOO U1 (.A0(a),\n"
+        "          .Y(y));\n"
+        "endmodule\n"
+    )
+    assert "line 4" in message
+
+
+def test_final_statement_without_semicolon_still_parses():
+    # The historical parser accepted an unterminated final statement.
+    netlist = from_verilog(
+        "module m (a, y); input a; output y;"
+        " IV U1 (.A0(a), .Y(y)) endmodule"
+    )
+    assert netlist.n_gates == 1
