@@ -5,6 +5,7 @@ Commands:
     analyze DESIGN                run the full Figure 2 pipeline
     campaign DESIGN               run only the FI campaign
     explain DESIGN [NODE ...]     GNNExplainer interpretations
+    gridsearch DESIGN             §3.3.2 hyperparameter grid search
     verilog DESIGN                export a design as structural Verilog
     reset-check DESIGN            3-valued reset verification
     optimize DESIGN               constant folding + dead-code stats
@@ -326,6 +327,25 @@ def cmd_harden(args) -> int:
     return 0
 
 
+def cmd_gridsearch(args) -> int:
+    analyzer = _make_analyzer(args)
+    result = analyzer.grid_search(
+        epochs=args.epochs, jobs=args.jobs, fast_math=args.fast_math,
+        max_worker_restarts=args.max_worker_restarts,
+        heartbeat_interval=args.heartbeat_interval,
+    )
+    print(render_table(
+        result.table(),
+        title=f"Grid search: {analyzer.netlist.name} "
+              f"({len(result.points)} candidates)",
+    ))
+    best = result.best
+    print(f"\nbest: {best.describe()}  "
+          f"val accuracy {best.val_accuracy:.4f} "
+          f"(best epoch {best.best_epoch})")
+    return 0
+
+
 def cmd_verilog(args) -> int:
     design = build_design(args.design)
     text = to_verilog(design)
@@ -446,6 +466,24 @@ def main(argv=None) -> int:
                               "results are identical for any K)")
     _add_pool_flags(explain)
 
+    grid = commands.add_parser(
+        "gridsearch", help="hyperparameter grid search (§3.3.2)"
+    )
+    _add_common(grid)
+    grid.add_argument("--epochs", type=int, default=200, metavar="N",
+                      help="training epochs per grid candidate "
+                           "(default: 200, patience 40)")
+    grid.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="pool workers training candidates in "
+                           "parallel (0 = all cores; the ranking is "
+                           "bitwise identical to --jobs 1)")
+    grid.add_argument("--fast-math", action="store_true",
+                      help="reordered sparse kernels + shared "
+                           "first-layer propagation cache "
+                           "(faster, algebraically exact, but not "
+                           "bitwise identical to the default)")
+    _add_pool_flags(grid)
+
     verilog = commands.add_parser("verilog",
                                   help="export structural Verilog")
     verilog.add_argument("design", choices=DESIGN_CHOICES)
@@ -477,6 +515,7 @@ def main(argv=None) -> int:
         "analyze": cmd_analyze,
         "campaign": cmd_campaign,
         "explain": cmd_explain,
+        "gridsearch": cmd_gridsearch,
         "verilog": cmd_verilog,
         "reset-check": cmd_reset_check,
         "optimize": cmd_optimize,

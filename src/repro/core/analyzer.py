@@ -267,6 +267,61 @@ class FaultCriticalityAnalyzer:
             self._regressor = model.fit(self.data, self.split)
         return self._regressor
 
+    def grid_search(
+        self,
+        hidden_dim_options: Optional[Sequence[Sequence[int]]] = None,
+        dropout_options: Optional[Sequence[float]] = None,
+        lr_options: Optional[Sequence[float]] = None,
+        epochs: int = 200,
+        jobs: int = 1,
+        fast_math: bool = False,
+        max_worker_restarts: int = 8,
+        heartbeat_interval: float = 5.0,
+    ):
+        """§3.3.2 hyperparameter sweep on this design's graph.
+
+        Trains one Table 1-style GCN stack per grid point on the
+        design's features/labels/split and ranks by validation
+        accuracy.  ``jobs`` fans candidates out over the supervised
+        fork worker pool (``0`` = all cores; the ranking is bitwise
+        identical to serial); ``fast_math`` opts candidate trainings
+        into the engine's reordered kernels and the design's shared
+        first-layer propagation cache (faster, not bitwise).  Option
+        sequences default to the paper's grid.
+        """
+        from repro.models.gcn import build_gcn_stack
+        from repro.nn.gridsearch import grid_search as _grid_search
+
+        data, split = self.data, self.split
+        a_norm = data.a_norm(
+            self.config.adjacency_mode, self.config.self_loops
+        )
+
+        def builder(hidden_dims, dropout, seed):
+            return build_gcn_stack(
+                data.n_features, 2, a_norm,
+                hidden_dims=hidden_dims, dropout=dropout,
+                log_softmax=True, seed=seed,
+            )
+
+        options = {}
+        if hidden_dim_options is not None:
+            options["hidden_dim_options"] = hidden_dim_options
+        if dropout_options is not None:
+            options["dropout_options"] = dropout_options
+        if lr_options is not None:
+            options["lr_options"] = lr_options
+        return _grid_search(
+            builder, data.x, data.y_class,
+            split.train_mask, split.val_mask,
+            epochs=epochs, seed=self.config.seed,
+            jobs=jobs, fast_math=fast_math,
+            cache=data.propagation_cache(),
+            max_worker_restarts=max_worker_restarts,
+            heartbeat_interval=heartbeat_interval,
+            **options,
+        )
+
     @property
     def explainer(self) -> GNNExplainer:
         """GNNExplainer bound to the trained classifier."""

@@ -41,6 +41,7 @@ class GraphData:
     y_score: np.ndarray
     feature_names: List[str]
     _a_norm_cache: dict = field(default_factory=dict, repr=False)
+    _propagation_cache: Optional[object] = field(default=None, repr=False)
 
     @property
     def n_nodes(self) -> int:
@@ -60,6 +61,21 @@ class GraphData:
                 self_loops=self_loops,
             )
         return self._a_norm_cache[key]
+
+    def propagation_cache(self):
+        """This design's shared constant-propagation cache.
+
+        One :class:`repro.nn.engine.PropagationCache` per dataset:
+        the training engine's fast-math first layer and SGC's
+        ``A*^K X`` smoothing both draw their ``A* @ X`` products from
+        it, so the work is done once per design no matter how many
+        models, grid candidates, or seeds train on it.
+        """
+        if self._propagation_cache is None:
+            from repro.nn.engine import PropagationCache
+
+            self._propagation_cache = PropagationCache()
+        return self._propagation_cache
 
     def node_index(self, node_name: str) -> int:
         """Row index of a named node."""

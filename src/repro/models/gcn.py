@@ -128,6 +128,7 @@ class GCNClassifier:
         self.history = train_classifier(
             self.model, data.x, data.y_class,
             split.train_mask, split.val_mask, self.config,
+            cache=data.propagation_cache(),
         )
         self._data = data
         return self
@@ -235,6 +236,7 @@ class GCNRegressor:
         self.history = train_regressor(
             self.model, data.x, data.y_score,
             split.train_mask, split.val_mask, self.config,
+            cache=data.propagation_cache(),
         )
         self._data = data
         return self

@@ -40,9 +40,14 @@ class SGCClassifier:
 
     def _propagate(self, data: GraphData) -> np.ndarray:
         a_norm = data.a_norm(self.adjacency_mode, self.self_loops)
+        # Each step draws from the design's shared PropagationCache, so
+        # the K products are computed once per (data, mode) and shared
+        # with the GCN training engine's fast-math first layer.  The
+        # result is read-only (cached) — callers must not mutate it.
+        cache = data.propagation_cache()
         smoothed = data.x
         for _ in range(self.k):
-            smoothed = a_norm @ smoothed
+            smoothed = cache.get(a_norm, smoothed)
         return smoothed
 
     def fit(self, data: GraphData, split: Split) -> "SGCClassifier":

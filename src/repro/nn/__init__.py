@@ -1,6 +1,11 @@
 """From-scratch neural-network engine (numpy): modules with explicit
 backward passes, losses, optimizers, training loops, and grid search."""
 
+from repro.nn.engine import (
+    PropagationCache,
+    TrainingWorkspace,
+    compile_workspace,
+)
 from repro.nn.gridsearch import GridPoint, GridSearchResult, grid_search
 from repro.nn.init import glorot_uniform
 from repro.nn.losses import bce_with_logits, mse_loss, nll_loss
@@ -27,6 +32,9 @@ from repro.nn.training import (
 )
 
 __all__ = [
+    "PropagationCache",
+    "TrainingWorkspace",
+    "compile_workspace",
     "GridPoint",
     "GridSearchResult",
     "grid_search",

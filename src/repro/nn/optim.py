@@ -1,4 +1,13 @@
-"""Optimizers."""
+"""Optimizers.
+
+Both steppers run fully in place: every per-parameter temporary the
+textbook update would allocate (weight-decayed gradient, moment
+updates, ``m_hat``/``v_hat``, the scaled step) lands in scratch
+buffers allocated once at construction and reused via ``out=``
+kernels.  The operation order replicates the allocating formulation
+exactly, so the parameter trajectories are bitwise identical — only
+the per-step allocations are gone.
+"""
 
 from __future__ import annotations
 
@@ -38,21 +47,42 @@ class SGD(Optimizer):
         self._velocity: List[np.ndarray] = [
             np.zeros_like(parameter.value) for parameter in self.parameters
         ]
+        self._scratch: List[np.ndarray] = [
+            np.empty_like(parameter.value) for parameter in self.parameters
+        ]
 
     def step(self) -> None:
-        for parameter, velocity in zip(self.parameters, self._velocity):
+        for parameter, velocity, scratch in zip(
+            self.parameters, self._velocity, self._scratch
+        ):
             grad = parameter.grad
             if self.weight_decay:
-                grad = grad + self.weight_decay * parameter.value
+                # grad + wd * value (addition commutes bitwise)
+                np.multiply(parameter.value, self.weight_decay,
+                            out=scratch)
+                scratch += grad
+                grad = scratch
             if self.momentum:
                 velocity *= self.momentum
                 velocity += grad
                 grad = velocity
-            parameter.value -= self.lr * grad
+            if grad is scratch:
+                scratch *= self.lr
+            else:
+                np.multiply(grad, self.lr, out=scratch)
+            parameter.value -= scratch
 
 
 class Adam(Optimizer):
-    """Adam (Kingma & Ba, 2015) with decoupled-free weight decay."""
+    """Adam (Kingma & Ba, 2015) with *coupled* L2 weight decay.
+
+    ``weight_decay`` adds ``wd * value`` to the raw gradient before the
+    moment updates — the original Adam-with-L2 formulation, so the
+    decay term flows through the adaptive second-moment scaling.  This
+    is *not* AdamW's decoupled decay (Loshchilov & Hutter, 2019),
+    which subtracts ``lr * wd * value`` from the weights directly,
+    bypassing the moments.
+    """
 
     def __init__(self, parameters: Sequence[Parameter], lr: float = 0.01,
                  betas=(0.9, 0.999), eps: float = 1e-8,
@@ -65,19 +95,37 @@ class Adam(Optimizer):
         self._step_count = 0
         self._m = [np.zeros_like(p.value) for p in self.parameters]
         self._v = [np.zeros_like(p.value) for p in self.parameters]
+        self._scratch = [np.empty_like(p.value) for p in self.parameters]
+        self._scratch2 = [np.empty_like(p.value) for p in self.parameters]
 
     def step(self) -> None:
         self._step_count += 1
         correction1 = 1.0 - self.beta1 ** self._step_count
         correction2 = 1.0 - self.beta2 ** self._step_count
-        for parameter, m, v in zip(self.parameters, self._m, self._v):
+        for parameter, m, v, scratch, scratch2 in zip(
+            self.parameters, self._m, self._v,
+            self._scratch, self._scratch2
+        ):
             grad = parameter.grad
             if self.weight_decay:
-                grad = grad + self.weight_decay * parameter.value
+                np.multiply(parameter.value, self.weight_decay,
+                            out=scratch)
+                scratch += grad
+                grad = scratch
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            np.multiply(grad, 1.0 - self.beta1, out=scratch2)
+            m += scratch2
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad * grad
-            m_hat = m / correction1
-            v_hat = v / correction2
-            parameter.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            # (1 - b2) * grad * grad evaluates left to right; keep that
+            # association or the bits drift from the reference update.
+            np.multiply(grad, 1.0 - self.beta2, out=scratch2)
+            scratch2 *= grad
+            v += scratch2
+            # value -= lr * (m / c1) / (sqrt(v / c2) + eps)
+            np.divide(v, correction2, out=scratch2)
+            np.sqrt(scratch2, out=scratch2)
+            scratch2 += self.eps
+            np.divide(m, correction1, out=scratch)
+            scratch *= self.lr
+            scratch /= scratch2
+            parameter.value -= scratch

@@ -1,0 +1,11 @@
+"""Frozen pre-rewrite copies of the NN training stack.
+
+These are faithful snapshots of ``src/repro/nn/{modules,optim,
+training,gridsearch}.py`` as of commit ``c9ae71a`` — the last commit
+before the zero-allocation training engine rewrite — with only the
+intra-package imports rewritten to point here.  They exist solely as
+the bitwise ground truth for ``tests/test_training_bitwise.py``: the
+optimized engine must reproduce these implementations' per-epoch
+histories and final weights exactly.  Do not modernize or "fix" this
+code; divergence from the snapshot defeats its purpose.
+"""

@@ -1,0 +1,104 @@
+"""Hyperparameter grid search (§3.3.2 of the paper).
+
+Sweeps layer counts, hidden widths, dropout and learning rate for a
+model-builder callback, training each candidate and ranking by
+validation accuracy.  Used by the Table 1 benchmark to confirm the
+published architecture is the grid's winner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from tests._reference_nn.ref_modules import Module
+from tests._reference_nn.ref_training import TrainingConfig, train_classifier
+from repro.utils.errors import ModelError
+
+#: builder(hidden_dims, dropout, seed) -> Module
+ModelBuilder = Callable[[Sequence[int], float, int], Module]
+
+
+@dataclass
+class GridPoint:
+    """One evaluated hyperparameter combination."""
+
+    hidden_dims: tuple
+    dropout: float
+    lr: float
+    val_accuracy: float
+    best_epoch: int
+
+    def describe(self) -> str:
+        dims = "-".join(str(d) for d in self.hidden_dims)
+        return (
+            f"layers={len(self.hidden_dims) + 1} dims={dims} "
+            f"dropout={self.dropout} lr={self.lr}"
+        )
+
+
+@dataclass
+class GridSearchResult:
+    """All evaluated points, best first."""
+
+    points: List[GridPoint] = field(default_factory=list)
+
+    @property
+    def best(self) -> GridPoint:
+        if not self.points:
+            raise ModelError("empty grid search")
+        return self.points[0]
+
+    def table(self) -> List[Dict[str, object]]:
+        """Rows for report rendering."""
+        return [
+            {
+                "hidden dims": "-".join(str(d) for d in p.hidden_dims),
+                "dropout": p.dropout,
+                "lr": p.lr,
+                "val accuracy": round(p.val_accuracy, 4),
+            }
+            for p in self.points
+        ]
+
+
+def grid_search(
+    builder: ModelBuilder,
+    x: np.ndarray,
+    targets: np.ndarray,
+    train_mask: np.ndarray,
+    val_mask: np.ndarray,
+    hidden_dim_options: Sequence[Sequence[int]] = (
+        (16,), (16, 32), (16, 32, 64), (32, 64),
+    ),
+    dropout_options: Sequence[float] = (0.0, 0.3, 0.5),
+    lr_options: Sequence[float] = (0.01,),
+    epochs: int = 200,
+    seed: int = 0,
+) -> GridSearchResult:
+    """Evaluate every combination and rank by validation accuracy."""
+    points: List[GridPoint] = []
+    for hidden_dims, dropout, lr in product(
+        hidden_dim_options, dropout_options, lr_options
+    ):
+        model = builder(tuple(hidden_dims), dropout, seed)
+        config = TrainingConfig(epochs=epochs, lr=lr, patience=40)
+        history = train_classifier(
+            model, x, targets, train_mask, val_mask, config
+        )
+        predictions = model.forward(x).argmax(axis=1)
+        accuracy = float(
+            (predictions[val_mask] == targets[val_mask]).mean()
+        )
+        points.append(GridPoint(
+            hidden_dims=tuple(hidden_dims),
+            dropout=dropout,
+            lr=lr,
+            val_accuracy=accuracy,
+            best_epoch=history.best_epoch,
+        ))
+    points.sort(key=lambda p: p.val_accuracy, reverse=True)
+    return GridSearchResult(points=points)

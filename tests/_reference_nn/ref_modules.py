@@ -57,19 +57,8 @@ class Module:
         self.training = True
 
     def eval(self) -> None:
-        """Enable inference behaviour (dropout off).
-
-        Also releases cached forward intermediates (inputs, masks,
-        activations kept for ``backward``): they are per-node arrays
-        that would otherwise stay pinned for as long as a trained model
-        is held — e.g. by the analyzer — and ``forward`` repopulates
-        them before any ``backward`` could need them.
-        """
+        """Enable inference behaviour (dropout off)."""
         self.training = False
-        self._clear_cached()
-
-    def _clear_cached(self) -> None:
-        """Drop cached autograd intermediates (layers override)."""
 
     def zero_grad(self) -> None:
         for parameter in self.parameters():
@@ -111,9 +100,6 @@ class Linear(Module):
         if self.bias is not None:
             self.bias.grad += grad.sum(axis=0)
         return grad @ self.weight.value.T
-
-    def _clear_cached(self) -> None:
-        self._input = None
 
 
 class GCNConv(Module):
@@ -158,9 +144,6 @@ class GCNConv(Module):
         if self.bias is not None:
             self.bias.grad += grad.sum(axis=0)
         return propagated @ self.weight.value.T
-
-    def _clear_cached(self) -> None:
-        self._input = None
 
 
 class SAGEConv(Module):
@@ -217,10 +200,6 @@ class SAGEConv(Module):
         )
         return grad_input
 
-    def _clear_cached(self) -> None:
-        self._input = None
-        self._aggregated = None
-
 
 class ReLU(Module):
     """Rectified linear unit."""
@@ -236,9 +215,6 @@ class ReLU(Module):
         if self._mask is None:
             raise ModelError("backward before forward")
         return grad * self._mask
-
-    def _clear_cached(self) -> None:
-        self._mask = None
 
 
 class Sigmoid(Module):
@@ -256,9 +232,6 @@ class Sigmoid(Module):
             raise ModelError("backward before forward")
         return grad * self._output * (1.0 - self._output)
 
-    def _clear_cached(self) -> None:
-        self._output = None
-
 
 class Tanh(Module):
     """Hyperbolic-tangent activation."""
@@ -274,9 +247,6 @@ class Tanh(Module):
         if self._output is None:
             raise ModelError("backward before forward")
         return grad * (1.0 - self._output ** 2)
-
-    def _clear_cached(self) -> None:
-        self._output = None
 
 
 class Dropout(Module):
@@ -304,9 +274,6 @@ class Dropout(Module):
             return grad
         return grad * self._mask
 
-    def _clear_cached(self) -> None:
-        self._mask = None
-
 
 class LogSoftmax(Module):
     """Row-wise log-softmax."""
@@ -326,9 +293,6 @@ class LogSoftmax(Module):
             raise ModelError("backward before forward")
         softmax = np.exp(self._output)
         return grad - softmax * grad.sum(axis=1, keepdims=True)
-
-    def _clear_cached(self) -> None:
-        self._output = None
 
 
 def functional_plan(model: "Sequential") -> List[tuple]:

@@ -1,0 +1,83 @@
+"""Optimizers."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from tests._reference_nn.ref_modules import Parameter
+from repro.utils.errors import ModelError
+
+
+class Optimizer:
+    """Base optimizer over a parameter list."""
+
+    def __init__(self, parameters: Sequence[Parameter]):
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ModelError("optimizer needs at least one parameter")
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters: Sequence[Parameter], lr: float = 0.01,
+                 momentum: float = 0.0, weight_decay: float = 0.0):
+        super().__init__(parameters)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: List[np.ndarray] = [
+            np.zeros_like(parameter.value) for parameter in self.parameters
+        ]
+
+    def step(self) -> None:
+        for parameter, velocity in zip(self.parameters, self._velocity):
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.value
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                grad = velocity
+            parameter.value -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with decoupled-free weight decay."""
+
+    def __init__(self, parameters: Sequence[Parameter], lr: float = 0.01,
+                 betas=(0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        super().__init__(parameters)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m = [np.zeros_like(p.value) for p in self.parameters]
+        self._v = [np.zeros_like(p.value) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        correction1 = 1.0 - self.beta1 ** self._step_count
+        correction2 = 1.0 - self.beta2 ** self._step_count
+        for parameter, m, v in zip(self.parameters, self._m, self._v):
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.value
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / correction1
+            v_hat = v / correction2
+            parameter.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
