@@ -1,0 +1,153 @@
+"""Artifact store: warm rerun of the full CLI pipeline vs cold.
+
+``repro analyze`` runs parse -> simulate -> inject -> featurize ->
+train -> report.  With ``--store DIR`` every stage output lands in the
+content-addressed artifact store keyed by the sha256 of its input
+closure, so a second invocation with identical inputs replays the
+whole pipeline from disk.  This benchmark commits the headline claim
+in machine-readable form: ``results/BENCH_store.json`` records the
+cold and warm wall clocks of the in-process CLI on the largest
+evaluation design and asserts the warm stdout is byte-for-byte
+identical to the cold stdout — the store may only change *when* work
+happens, never *what* is printed.
+
+Runs two ways:
+
+* ``pytest benchmarks/bench_store.py`` — full measurement, writes the
+  JSON artifact and asserts the >=20x acceptance bar.
+* ``python benchmarks/bench_store.py [--smoke]`` — standalone;
+  ``--smoke`` shrinks the suite for the CI guard (exercises the
+  cold-miss write path, the warm-hit read path, and the byte-identity
+  check end to end, skips the artifact write and the 20x bar).
+"""
+
+import argparse
+import contextlib
+import io
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+try:
+    from benchmarks.hostinfo import host_metadata  # pytest (package)
+except ImportError:
+    from hostinfo import host_metadata  # standalone script
+
+RESULTS_DIR = Path(__file__).parent / "results"
+ARTIFACT = "BENCH_store.json"
+
+DESIGN = "or1200_if"
+WORKLOADS = 8
+CYCLES = 200
+WARM_REPEATS = 3
+
+
+def _run_cli(argv):
+    """Run the in-process CLI, returning (stdout, seconds)."""
+    from repro.__main__ import main
+
+    captured = io.StringIO()
+    started = time.perf_counter()
+    with contextlib.redirect_stdout(captured):
+        code = main(argv)
+    elapsed = time.perf_counter() - started
+    assert code == 0, f"repro {' '.join(argv)} exited {code}"
+    return captured.getvalue(), elapsed
+
+
+def run_benchmark(design=DESIGN, n_workloads=WORKLOADS, cycles=CYCLES,
+                  warm_repeats=WARM_REPEATS, smoke=False):
+    """Measure cold vs warm ``repro analyze``, assemble the payload."""
+    from repro.store import ArtifactStore
+
+    with tempfile.TemporaryDirectory() as directory:
+        argv = [
+            "analyze", design,
+            "--workloads", str(n_workloads),
+            "--cycles", str(cycles),
+            "--store", directory,
+        ]
+        cold_stdout, cold_seconds = _run_cli(argv)
+
+        best_warm = None
+        warm_stdout = None
+        for _ in range(warm_repeats):
+            warm_stdout, elapsed = _run_cli(argv)
+            if best_warm is None or elapsed < best_warm:
+                best_warm = elapsed
+        stats = ArtifactStore(directory).stats()
+
+    payload = {
+        "design": design,
+        "workloads": n_workloads,
+        "cycles_per_workload": cycles,
+        "cold_seconds": round(cold_seconds, 3),
+        "warm_seconds": round(best_warm, 3),
+        "speedup": round(cold_seconds / best_warm, 2),
+        "stdout_identical": warm_stdout == cold_stdout,
+        "store": {
+            "entries": stats["entries"],
+            "bytes": stats["bytes"],
+            "hits": stats["hits"],
+            "misses": stats["misses"],
+            "by_kind": stats["by_kind"],
+        },
+        "host": host_metadata(best_of=warm_repeats),
+    }
+    del smoke  # same suite shape either way; the caller shrinks it
+    return payload
+
+
+def test_store_warm_speedup(benchmark, artifact):
+    payload = {}
+
+    def run():
+        payload.update(run_benchmark())
+        return payload
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    assert payload["stdout_identical"]
+    # The store acceptance bar: a warm rerun of the full pipeline on
+    # the largest design replays from disk >=20x faster than cold.
+    assert payload["speedup"] >= 20.0
+    artifact(ARTIFACT, json.dumps(payload, indent=2))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny suite, single warm repeat, no "
+                             "artifact, no 20x bar (the CI guard)")
+    parser.add_argument("--out", metavar="FILE.json",
+                        help="write the payload here instead of "
+                             f"results/{ARTIFACT}")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        payload = run_benchmark(design="sdram", n_workloads=2,
+                                cycles=60, warm_repeats=1, smoke=True)
+    else:
+        payload = run_benchmark()
+    text = json.dumps(payload, indent=2)
+    print(text)
+    if not payload["stdout_identical"]:
+        print("FAIL: warm stdout differs from cold stdout",
+              file=sys.stderr)
+        return 1
+    if not args.smoke:
+        if payload["speedup"] < 20.0:
+            print(f"FAIL: speedup {payload['speedup']}x below the "
+                  "20x acceptance bar", file=sys.stderr)
+            return 1
+        out = Path(args.out) if args.out else RESULTS_DIR / ARTIFACT
+        out.parent.mkdir(exist_ok=True)
+        out.write_text(text + "\n", encoding="utf-8")
+        print(f"\nartifact -> {out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+    sys.exit(main())

@@ -41,6 +41,7 @@ from repro.models import (
 )
 from repro.netlist import Netlist, read_verilog, write_verilog
 from repro.sim import Simulator, Workload, design_workloads
+from repro.store import ArtifactStore
 
 __version__ = "1.0.0"
 
@@ -69,6 +70,7 @@ __all__ = [
     "GCNClassifier",
     "GCNRegressor",
     "make_classifier",
+    "ArtifactStore",
     "Netlist",
     "read_verilog",
     "write_verilog",

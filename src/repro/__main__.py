@@ -6,15 +6,23 @@ Commands:
     campaign DESIGN               run only the FI campaign
     explain DESIGN [NODE ...]     GNNExplainer interpretations
     gridsearch DESIGN             §3.3.2 hyperparameter grid search
+    store ACTION                  artifact-store maintenance
     verilog DESIGN                export a design as structural Verilog
     reset-check DESIGN            3-valued reset verification
     optimize DESIGN               constant folding + dead-code stats
     harden DESIGN                 GCN-guided selective TMR report
+
+The pipeline commands accept ``--store DIR`` (default: the
+``REPRO_STORE`` environment variable): a content-addressed artifact
+store that memoizes every expensive stage across invocations, so a
+warm rerun is O(read).  All store diagnostics go to stderr; stdout is
+bitwise identical between cold and warm runs.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import signal
 import sys
 
@@ -56,12 +64,34 @@ def _add_pool_flags(parser: argparse.ArgumentParser) -> None:
                              "(default: 5.0)")
 
 
+def _add_store_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--store", metavar="DIR",
+                        default=os.environ.get("REPRO_STORE"),
+                        help="content-addressed artifact store: reuse "
+                             "cached stage results and cache fresh "
+                             "ones (default: $REPRO_STORE)")
+    parser.add_argument("--no-store", action="store_true",
+                        help="ignore --store / $REPRO_STORE and run "
+                             "every stage cold")
+
+
+def _open_store(args):
+    """The run's ArtifactStore, or ``None`` when disabled/unset."""
+    if getattr(args, "no_store", False) or not getattr(
+            args, "store", None):
+        return None
+    from repro.store import ArtifactStore
+
+    return ArtifactStore(args.store)
+
+
 def _make_analyzer(args) -> FaultCriticalityAnalyzer:
     config = AnalyzerConfig(
         seed=args.seed, n_workloads=args.workloads,
         workload_cycles=args.cycles,
     )
-    return FaultCriticalityAnalyzer(build_design(args.design), config)
+    return FaultCriticalityAnalyzer(build_design(args.design), config,
+                                    store=_open_store(args))
 
 
 def cmd_designs(_args) -> int:
@@ -189,14 +219,29 @@ def cmd_campaign(args) -> int:
               f"{args.design})")
         print()
     else:
-        campaign = run_campaign(
-            design, workloads, collapse=args.collapse,
-            timeout=args.timeout, retries=args.retries,
-            checkpoint_dir=args.checkpoint_dir, resume=args.resume,
-            jobs=args.jobs, shard_size=args.shard_size,
-            max_worker_restarts=args.max_worker_restarts,
-            heartbeat_interval=args.heartbeat_interval,
-        )
+        def compute():
+            return run_campaign(
+                design, workloads, collapse=args.collapse,
+                timeout=args.timeout, retries=args.retries,
+                checkpoint_dir=args.checkpoint_dir,
+                resume=args.resume,
+                jobs=args.jobs, shard_size=args.shard_size,
+                max_worker_restarts=args.max_worker_restarts,
+                heartbeat_interval=args.heartbeat_interval,
+            )
+
+        store = _open_store(args)
+        if store is not None and not args.checkpoint_dir:
+            from repro.store import memoized_campaign
+
+            campaign = memoized_campaign(
+                store, design, workloads, collapse=args.collapse,
+                compute=compute,
+            )
+        else:
+            # A checkpoint-dir run must actually execute (its durable
+            # per-unit store is the product); don't shortcut it.
+            campaign = compute()
     experiments = len(campaign.faults) * campaign.n_workloads
     print(f"{experiments} fault-experiments in "
           f"{campaign.simulation_seconds:.1f}s")
@@ -346,6 +391,47 @@ def cmd_gridsearch(args) -> int:
     return 0
 
 
+def cmd_store(args) -> int:
+    from repro.store import ArtifactStore
+
+    directory = args.store or os.environ.get("REPRO_STORE")
+    if not directory:
+        print("error: no store directory — pass --store DIR or set "
+              "$REPRO_STORE", file=sys.stderr)
+        return 2
+    store = ArtifactStore(directory, byte_budget=args.budget)
+    if args.action == "stats":
+        stats = store.stats()
+        by_kind = stats.pop("by_kind")
+        rows = [stats]
+        print(render_table(rows, title="Artifact store"))
+        if by_kind:
+            print()
+            print(render_table(
+                [by_kind], title="Entries by kind"
+            ))
+    elif args.action == "ls":
+        rows = [
+            {"key": entry["key"][:16], "kind": entry["kind"],
+             "bytes": entry["size"],
+             "design": entry["meta"].get("design", "")}
+            for entry in store.entries()
+        ]
+        if rows:
+            print(render_table(rows, title="Store entries (LRU last)"))
+        else:
+            print("store is empty")
+    elif args.action == "gc":
+        evicted, freed = store.gc()
+        print(f"evicted {evicted} entries ({freed} bytes); "
+              f"{store.stats()['bytes']} bytes in use of "
+              f"{store.byte_budget} budget")
+    elif args.action == "clear":
+        count = store.clear()
+        print(f"removed {count} entries")
+    return 0
+
+
 def cmd_verilog(args) -> int:
     design = build_design(args.design)
     text = to_verilog(design)
@@ -394,6 +480,7 @@ def main(argv=None) -> int:
                               "from this checkpointed baseline "
                               "campaign instead of simulating the "
                               "baseline in-memory")
+    _add_store_flags(analyze)
     _add_pool_flags(analyze)
 
     campaign = commands.add_parser("campaign", help="FI campaign only")
@@ -446,6 +533,7 @@ def main(argv=None) -> int:
                                "sidecar into --checkpoint-dir, "
                                "unlocking --eco's trace-merge fast "
                                "path")
+    _add_store_flags(campaign)
     _add_pool_flags(campaign)
 
     explain = commands.add_parser("explain",
@@ -464,6 +552,7 @@ def main(argv=None) -> int:
                          help="nodes per block-diagonal optimization "
                               "batch (default: explainer's built-in; "
                               "results are identical for any K)")
+    _add_store_flags(explain)
     _add_pool_flags(explain)
 
     grid = commands.add_parser(
@@ -482,7 +571,21 @@ def main(argv=None) -> int:
                            "first-layer propagation cache "
                            "(faster, algebraically exact, but not "
                            "bitwise identical to the default)")
+    _add_store_flags(grid)
     _add_pool_flags(grid)
+
+    store = commands.add_parser(
+        "store", help="artifact-store maintenance"
+    )
+    store.add_argument("action",
+                       choices=("stats", "ls", "gc", "clear"))
+    store.add_argument("--store", metavar="DIR",
+                       default=os.environ.get("REPRO_STORE"),
+                       help="store directory (default: $REPRO_STORE)")
+    store.add_argument("--budget", type=int, default=None,
+                       metavar="BYTES",
+                       help="set the store's persistent byte budget "
+                            "(gc evicts LRU entries beyond it)")
 
     verilog = commands.add_parser("verilog",
                                   help="export structural Verilog")
@@ -516,6 +619,7 @@ def main(argv=None) -> int:
         "campaign": cmd_campaign,
         "explain": cmd_explain,
         "gridsearch": cmd_gridsearch,
+        "store": cmd_store,
         "verilog": cmd_verilog,
         "reset-check": cmd_reset_check,
         "optimize": cmd_optimize,

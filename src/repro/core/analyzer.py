@@ -155,12 +155,16 @@ class FaultCriticalityAnalyzer:
 
     def __init__(self, netlist: Netlist,
                  config: Optional[AnalyzerConfig] = None,
-                 workloads: Optional[Sequence[Workload]] = None):
+                 workloads: Optional[Sequence[Workload]] = None,
+                 store=None):
         self.netlist = netlist
         self.config = config or AnalyzerConfig()
+        self.store = store
+        self._memo = None
         self._workloads: Optional[List[Workload]] = (
             list(workloads) if workloads is not None else None
         )
+        self.workloads_provided = workloads is not None
         self._campaign: Optional[CampaignResult] = None
         self._dataset: Optional[CriticalityDataset] = None
         self._features: Optional[NodeFeatures] = None
@@ -170,6 +174,22 @@ class FaultCriticalityAnalyzer:
         self._regressor: Optional[GCNRegressor] = None
         self._explainer: Optional[GNNExplainer] = None
 
+    @property
+    def memo(self):
+        """Store-backed memoization glue (``None`` without a store)."""
+        if self._memo is None and self.store is not None:
+            from repro.store.memo import AnalysisMemo
+
+            self._memo = AnalysisMemo(self.store, self)
+        return self._memo
+
+    def _memoized(self, stage: str, compute):
+        """Route one stage through the artifact store when attached."""
+        memo = self.memo
+        if memo is None:
+            return compute()
+        return getattr(memo, stage)(compute)
+
     # ------------------------------------------------------------------
     # pipeline stages (lazy, cached)
     # ------------------------------------------------------------------
@@ -177,21 +197,27 @@ class FaultCriticalityAnalyzer:
     def workloads(self) -> List[Workload]:
         """The diverse workload suite (generated on first use)."""
         if self._workloads is None:
-            self._workloads = design_workloads(
-                self.netlist.name, self.netlist,
-                count=self.config.n_workloads,
-                cycles=self.config.workload_cycles,
-                seed=self.config.seed,
-            )
+            self._workloads = list(self._memoized(
+                "workloads",
+                lambda: design_workloads(
+                    self.netlist.name, self.netlist,
+                    count=self.config.n_workloads,
+                    cycles=self.config.workload_cycles,
+                    seed=self.config.seed,
+                ),
+            ))
         return self._workloads
 
     @property
     def campaign(self) -> CampaignResult:
         """The fault-injection campaign result."""
         if self._campaign is None:
-            self._campaign = run_campaign(
-                self.netlist, self.workloads,
-                severity=self.config.severity,
+            self._campaign = self._memoized(
+                "campaign",
+                lambda: run_campaign(
+                    self.netlist, self.workloads,
+                    severity=self.config.severity,
+                ),
             )
         return self._campaign
 
@@ -199,9 +225,12 @@ class FaultCriticalityAnalyzer:
     def dataset(self) -> CriticalityDataset:
         """Algorithm 1's node scores and labels."""
         if self._dataset is None:
-            self._dataset = dataset_from_campaign(
-                self.campaign,
-                threshold=self.config.criticality_threshold,
+            self._dataset = self._memoized(
+                "dataset",
+                lambda: dataset_from_campaign(
+                    self.campaign,
+                    threshold=self.config.criticality_threshold,
+                ),
             )
         return self._dataset
 
@@ -209,12 +238,16 @@ class FaultCriticalityAnalyzer:
     def features(self) -> NodeFeatures:
         """The §3.1 node feature matrix."""
         if self._features is None:
-            self._features = extract_features(
-                self.netlist,
-                workloads=self.workloads
-                if self.config.probability_source == "simulation" else None,
-                probability_source=self.config.probability_source,
-                extended=self.config.extended_features,
+            self._features = self._memoized(
+                "features",
+                lambda: extract_features(
+                    self.netlist,
+                    workloads=self.workloads
+                    if self.config.probability_source == "simulation"
+                    else None,
+                    probability_source=self.config.probability_source,
+                    extended=self.config.extended_features,
+                ),
             )
         return self._features
 
@@ -222,8 +255,11 @@ class FaultCriticalityAnalyzer:
     def data(self) -> GraphData:
         """Graph + features + labels, ready for models."""
         if self._data is None:
-            self._data = build_graph_data(
-                self.netlist, self.features, self.dataset
+            self._data = self._memoized(
+                "data",
+                lambda: build_graph_data(
+                    self.netlist, self.features, self.dataset
+                ),
             )
         return self._data
 
@@ -241,30 +277,36 @@ class FaultCriticalityAnalyzer:
     def classifier(self) -> GCNClassifier:
         """The trained Table 1 GCN classifier."""
         if self._classifier is None:
-            model = GCNClassifier(
-                hidden_dims=self.config.hidden_dims,
-                dropout=self.config.dropout,
-                adjacency_mode=self.config.adjacency_mode,
-                self_loops=self.config.self_loops,
-                seed=(self.config.seed, "gcn"),
-                config=self.config.training,
-            )
-            self._classifier = model.fit(self.data, self.split)
+            def train() -> GCNClassifier:
+                model = GCNClassifier(
+                    hidden_dims=self.config.hidden_dims,
+                    dropout=self.config.dropout,
+                    adjacency_mode=self.config.adjacency_mode,
+                    self_loops=self.config.self_loops,
+                    seed=(self.config.seed, "gcn"),
+                    config=self.config.training,
+                )
+                return model.fit(self.data, self.split)
+
+            self._classifier = self._memoized("classifier", train)
         return self._classifier
 
     @property
     def regressor(self) -> GCNRegressor:
         """The trained criticality-score regressor (§3.4)."""
         if self._regressor is None:
-            model = GCNRegressor(
-                hidden_dims=self.config.hidden_dims,
-                dropout=self.config.dropout,
-                adjacency_mode=self.config.adjacency_mode,
-                self_loops=self.config.self_loops,
-                seed=(self.config.seed, "gcn-regressor"),
-                config=self.config.regressor_training,
-            )
-            self._regressor = model.fit(self.data, self.split)
+            def train() -> GCNRegressor:
+                model = GCNRegressor(
+                    hidden_dims=self.config.hidden_dims,
+                    dropout=self.config.dropout,
+                    adjacency_mode=self.config.adjacency_mode,
+                    self_loops=self.config.self_loops,
+                    seed=(self.config.seed, "gcn-regressor"),
+                    config=self.config.regressor_training,
+                )
+                return model.fit(self.data, self.split)
+
+            self._regressor = self._memoized("regressor", train)
         return self._regressor
 
     def grid_search(
@@ -311,15 +353,43 @@ class FaultCriticalityAnalyzer:
             options["dropout_options"] = dropout_options
         if lr_options is not None:
             options["lr_options"] = lr_options
-        return _grid_search(
-            builder, data.x, data.y_class,
-            split.train_mask, split.val_mask,
-            epochs=epochs, seed=self.config.seed,
-            jobs=jobs, fast_math=fast_math,
-            cache=data.propagation_cache(),
-            max_worker_restarts=max_worker_restarts,
-            heartbeat_interval=heartbeat_interval,
-            **options,
+
+        def compute():
+            return _grid_search(
+                builder, data.x, data.y_class,
+                split.train_mask, split.val_mask,
+                epochs=epochs, seed=self.config.seed,
+                jobs=jobs, fast_math=fast_math,
+                cache=data.propagation_cache(),
+                max_worker_restarts=max_worker_restarts,
+                heartbeat_interval=heartbeat_interval,
+                **options,
+            )
+
+        memo = self.memo
+        if memo is None:
+            return compute()
+        # Key on the *resolved* grid (explicit options, else the
+        # sweep's documented defaults), never on jobs — the ranking is
+        # bitwise identical for any fan-out.
+        import inspect
+
+        defaults = inspect.signature(_grid_search).parameters
+        return memo.gridsearch(
+            hidden_dim_options=(
+                hidden_dim_options
+                if hidden_dim_options is not None
+                else defaults["hidden_dim_options"].default
+            ),
+            dropout_options=(
+                dropout_options if dropout_options is not None
+                else defaults["dropout_options"].default
+            ),
+            lr_options=(
+                lr_options if lr_options is not None
+                else defaults["lr_options"].default
+            ),
+            epochs=epochs, fast_math=fast_math, compute=compute,
         )
 
     @property
@@ -357,16 +427,23 @@ class FaultCriticalityAnalyzer:
         self, names: Sequence[str] = BASELINE_NAMES
     ) -> Dict[str, float]:
         """Validation accuracy of each baseline classifier."""
-        data, split = self.data, self.split
-        results: Dict[str, float] = {}
-        for name in names:
-            model = make_classifier(name)
-            model.fit(data.x[split.train_mask],
-                      data.y_class[split.train_mask])
-            results[name] = model.score(
-                data.x[split.val_mask], data.y_class[split.val_mask]
-            )
-        return results
+        def compute() -> Dict[str, float]:
+            data, split = self.data, self.split
+            results: Dict[str, float] = {}
+            for name in names:
+                model = make_classifier(name)
+                model.fit(data.x[split.train_mask],
+                          data.y_class[split.train_mask])
+                results[name] = model.score(
+                    data.x[split.val_mask],
+                    data.y_class[split.val_mask],
+                )
+            return results
+
+        memo = self.memo
+        if memo is None:
+            return compute()
+        return memo.baselines(list(names), compute)
 
     def baseline_rocs(
         self, names: Sequence[str] = BASELINE_NAMES
@@ -415,13 +492,25 @@ class FaultCriticalityAnalyzer:
         the supervised fork worker pool (0 = all cores);
         ``batch_size`` caps nodes per batch; ``max_worker_restarts``
         and ``heartbeat_interval`` tune the pool's crash supervision.
-        Results are identical for every combination.
+        Results are identical for every combination, so none of those
+        knobs participate in the artifact-store key.
         """
-        return self.explainer.explain_many(
-            nodes, jobs=jobs, batch_size=batch_size,
-            max_worker_restarts=max_worker_restarts,
-            heartbeat_interval=heartbeat_interval,
-        )
+        def compute() -> List[Explanation]:
+            return self.explainer.explain_many(
+                nodes, jobs=jobs, batch_size=batch_size,
+                max_worker_restarts=max_worker_restarts,
+                heartbeat_interval=heartbeat_interval,
+            )
+
+        memo = self.memo
+        if memo is None:
+            return compute()
+        indices = [
+            self.data.node_index(node) if isinstance(node, str)
+            else int(node)
+            for node in nodes
+        ]
+        return memo.explanations(indices, compute)
 
     def sample_explain_nodes(self, per_class: int = 3) -> List[int]:
         """A deterministic held-out node sample covering both predicted

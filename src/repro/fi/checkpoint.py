@@ -23,63 +23,34 @@ pipeline trains on.
 
 from __future__ import annotations
 
-import hashlib
 import json
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.fi.faults import Fault
-from repro.sim.waveform import Workload
 from repro.utils.errors import (
     CampaignError,
     CorruptArtifactError,
     SerializationError,
 )
+# Campaign identity lives in the repo-wide fingerprint scheme; it is
+# re-exported here because checkpoint stores are its oldest consumer.
+from repro.utils.fingerprint import campaign_fingerprint
+
+__all__ = [
+    "CheckpointStore",
+    "campaign_fingerprint",
+    "observation_key",
+    "MANIFEST_NAME",
+    "MANIFEST_VERSION",
+]
 
 PathLike = Union[str, Path]
 
 MANIFEST_NAME = "manifest.json"
 #: Manifest format version (independent of the workload-file version).
 MANIFEST_VERSION = 1
-
-
-def campaign_fingerprint(
-    netlist_name: str,
-    workloads: Sequence[Workload],
-    faults: Sequence[Fault],
-    severity: float,
-    collapse: bool,
-    observation_key: str,
-) -> str:
-    """Deterministic digest of everything that shapes campaign output.
-
-    Workloads hash their stimulus *bytes*, not just their names: two
-    suites generated with different seeds share names but produce
-    different ground truth, and resuming across them must be refused.
-    """
-    digest = hashlib.sha256()
-    header = {
-        "netlist": netlist_name,
-        "severity": float(severity),
-        "collapse": bool(collapse),
-        "observation": observation_key,
-        "faults": [
-            (fault.node_name, int(fault.gate_index),
-             int(fault.net_index),
-             int(getattr(fault, "stuck_at", -1)),
-             int(getattr(fault, "cycle", -1)))
-            for fault in faults
-        ],
-        "workloads": [
-            (workload.name, workload.cycles) for workload in workloads
-        ],
-    }
-    digest.update(json.dumps(header, sort_keys=True).encode("utf-8"))
-    for workload in workloads:
-        digest.update(np.ascontiguousarray(workload.vectors).tobytes())
-    return digest.hexdigest()
 
 
 class CheckpointStore:
@@ -193,10 +164,10 @@ class CheckpointStore:
             "n_faults": self.n_faults,
             "shards": [list(bounds) for bounds in self.shard_bounds],
         }
-        temporary = self.manifest_path.with_suffix(".json.tmp")
-        temporary.write_text(json.dumps(payload, indent=1),
-                             encoding="utf-8")
-        temporary.replace(self.manifest_path)
+        from repro.io import atomic_write_text
+
+        atomic_write_text(self.manifest_path,
+                          json.dumps(payload, indent=1))
 
     def _validate_manifest(self) -> None:
         try:

@@ -71,9 +71,9 @@ from repro.fi.campaign import (
 from repro.fi.checkpoint import (
     MANIFEST_NAME,
     CheckpointStore,
-    campaign_fingerprint,
     observation_key,
 )
+from repro.utils.fingerprint import campaign_fingerprint
 from repro.fi.faults import Fault, full_fault_universe
 from repro.netlist.diff import NetlistDiff, diff_netlists
 from repro.netlist.netlist import Netlist
@@ -754,7 +754,7 @@ def run_campaign_with_traces(
     """
     import time
 
-    from repro.fi.checkpoint import campaign_fingerprint
+    from repro.utils.fingerprint import campaign_fingerprint
     from repro.fi.runner import CampaignRunner, RunnerPolicy
     from repro.sim.bitparallel import BitParallelSimulator, PassTrace
 
@@ -873,7 +873,7 @@ def _trace_merge_dirty(
     """
     import time
 
-    from repro.fi.checkpoint import campaign_fingerprint
+    from repro.utils.fingerprint import campaign_fingerprint
     from repro.fi.observation import ObservationSpec
     from repro.sim.bitparallel import BitParallelSimulator, PassTrace
 

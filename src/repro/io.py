@@ -10,8 +10,9 @@ inspectable.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
-from typing import Optional, Union
+from typing import List, Optional, Union
 
 import numpy as np
 
@@ -32,6 +33,57 @@ PathLike = Union[str, Path]
 
 #: Format version for workload checkpoints (bump on layout changes).
 CHECKPOINT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# durable atomic writes
+# ----------------------------------------------------------------------
+def fsync_directory(directory: PathLike) -> None:
+    """Flush a directory's entry table to stable storage.
+
+    An ``os.replace`` is atomic against crashes of the *process*, but
+    the new directory entry itself lives in the page cache until the
+    directory inode is synced — a power cut after a "successful" rename
+    can resurrect the old state.  Platforms whose directories cannot be
+    opened for fsync (Windows) are skipped.
+    """
+    try:
+        descriptor = os.open(str(directory), os.O_RDONLY)
+    except OSError:  # pragma: no cover - non-POSIX directory semantics
+        return
+    try:
+        os.fsync(descriptor)
+    finally:
+        os.close(descriptor)
+
+
+def durable_replace(temporary: PathLike, path: PathLike) -> None:
+    """Atomically publish ``temporary`` at ``path``, surviving power loss.
+
+    ``temporary`` must already be synced (its *contents* are the
+    caller's responsibility — sync the open handle before closing).
+    This performs the rename and then fsyncs the parent directory so
+    the publication itself is durable.
+    """
+    path = Path(path)
+    os.replace(str(temporary), str(path))
+    fsync_directory(path.parent)
+
+
+def atomic_write_bytes(path: PathLike, payload: bytes) -> None:
+    """Durably write ``payload`` to ``path`` via a synced temp file."""
+    path = Path(path)
+    temporary = path.with_name(path.name + f".tmp.{os.getpid()}")
+    with open(temporary, "wb") as handle:
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    durable_replace(temporary, path)
+
+
+def atomic_write_text(path: PathLike, text: str) -> None:
+    """Durably write ``text`` (UTF-8) to ``path`` via a synced temp file."""
+    atomic_write_bytes(path, text.encode("utf-8"))
 
 
 def _open_npz(path: PathLike, kind: str):
@@ -263,8 +315,10 @@ def save_workload_checkpoint(
 ) -> None:
     """Write one workload's completed fault pass to an ``.npz``.
 
-    The write is atomic (temp file + rename) so a kill mid-write never
-    leaves a half-checkpoint that a later ``--resume`` would trust.
+    The write is atomic *and durable*: the temp file is fsynced before
+    the rename and the parent directory after it, so a kill or power
+    cut at any instant never leaves a half-checkpoint — or a vanished
+    "successful" one — that a later ``--resume`` would trust.
     """
     path = Path(path)
     metadata = {
@@ -285,7 +339,9 @@ def save_workload_checkpoint(
                                        dtype=np.int64),
             latent=np.asarray(latent, dtype=bool),
         )
-    temporary.replace(path)
+        handle.flush()
+        os.fsync(handle.fileno())
+    durable_replace(temporary, path)
 
 
 def load_workload_checkpoint(
@@ -530,3 +586,283 @@ def load_split(path: PathLike) -> Split:
     with np.load(path) as archive:
         return Split(train_mask=archive["train_mask"],
                      val_mask=archive["val_mask"])
+
+
+# ----------------------------------------------------------------------
+# node features
+# ----------------------------------------------------------------------
+def save_features(features, path: PathLike) -> None:
+    """Write a :class:`~repro.features.extract.NodeFeatures` to ``.npz``."""
+    metadata = {
+        "design": features.design,
+        "node_names": list(features.node_names),
+        "feature_names": list(features.feature_names),
+    }
+    np.savez_compressed(
+        path,
+        metadata=np.frombuffer(
+            json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+        ),
+        matrix=np.asarray(features.matrix, dtype=np.float64),
+    )
+
+
+def load_features(path: PathLike):
+    """Read features written by :func:`save_features` (validated)."""
+    from repro.features.extract import NodeFeatures
+
+    with _open_npz(path, "features") as archive:
+        metadata = _archive_metadata(
+            archive, path, "features",
+            required=("design", "node_names", "feature_names"),
+        )
+        matrix = _archive_array(archive, "matrix", path, "features", "f")
+        expected = (len(metadata["node_names"]),
+                    len(metadata["feature_names"]))
+        if matrix.shape != expected:
+            raise SerializationError(
+                f"features archive {path}: matrix has shape "
+                f"{matrix.shape}, expected {expected}"
+            )
+        return NodeFeatures(
+            design=metadata["design"],
+            node_names=list(metadata["node_names"]),
+            feature_names=list(metadata["feature_names"]),
+            matrix=matrix,
+        )
+
+
+# ----------------------------------------------------------------------
+# workload suites
+# ----------------------------------------------------------------------
+def save_workloads(workloads, path: PathLike) -> None:
+    """Write a workload suite (replayable stimulus vectors) to ``.npz``."""
+    metadata = {
+        "workloads": [
+            {"name": workload.name,
+             "input_names": list(workload.input_names)}
+            for workload in workloads
+        ],
+    }
+    arrays = {
+        f"vectors_{index}": np.asarray(workload.vectors,
+                                       dtype=np.uint8)
+        for index, workload in enumerate(workloads)
+    }
+    np.savez_compressed(
+        path,
+        metadata=np.frombuffer(
+            json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+        ),
+        **arrays,
+    )
+
+
+def load_workloads(path: PathLike):
+    """Read a suite written by :func:`save_workloads` (validated)."""
+    from repro.sim.waveform import Workload
+
+    with _open_npz(path, "workloads") as archive:
+        metadata = _archive_metadata(
+            archive, path, "workloads", required=("workloads",)
+        )
+        suite = []
+        for index, entry in enumerate(metadata["workloads"]):
+            vectors = _archive_array(
+                archive, f"vectors_{index}", path, "workloads", "u"
+            )
+            if vectors.ndim != 2 or \
+                    vectors.shape[1] != len(entry["input_names"]):
+                raise SerializationError(
+                    f"workloads archive {path}: vectors_{index} has "
+                    f"shape {vectors.shape}, expected (*, "
+                    f"{len(entry['input_names'])})"
+                )
+            suite.append(Workload(
+                name=entry["name"],
+                input_names=list(entry["input_names"]),
+                vectors=vectors,
+            ))
+        return suite
+
+
+# ----------------------------------------------------------------------
+# graph data
+# ----------------------------------------------------------------------
+def save_graph_data(data: GraphData, path: PathLike) -> None:
+    """Write a :class:`~repro.graph.data.GraphData` to ``.npz``."""
+    metadata = {
+        "design": data.design,
+        "node_names": list(data.node_names),
+        "feature_names": list(data.feature_names),
+    }
+    np.savez_compressed(
+        path,
+        metadata=np.frombuffer(
+            json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+        ),
+        x=data.x,
+        x_raw=data.x_raw,
+        edge_index=np.asarray(data.edge_index, dtype=np.int64),
+        y_class=data.y_class,
+        y_score=data.y_score,
+    )
+
+
+def load_graph_data(path: PathLike) -> GraphData:
+    """Read graph data written by :func:`save_graph_data` (validated)."""
+    with _open_npz(path, "graph-data") as archive:
+        metadata = _archive_metadata(
+            archive, path, "graph-data",
+            required=("design", "node_names", "feature_names"),
+        )
+        x = _archive_array(archive, "x", path, "graph-data", "f")
+        x_raw = _archive_array(archive, "x_raw", path, "graph-data", "f")
+        edge_index = _archive_array(archive, "edge_index", path,
+                                    "graph-data", "iu")
+        y_class = _archive_array(archive, "y_class", path, "graph-data",
+                                 "iu")
+        y_score = _archive_array(archive, "y_score", path, "graph-data",
+                                 "f")
+        n_nodes = len(metadata["node_names"])
+        expected = (n_nodes, len(metadata["feature_names"]))
+        if x.shape != expected or x_raw.shape != expected:
+            raise SerializationError(
+                f"graph-data archive {path}: feature matrices "
+                f"{x.shape}/{x_raw.shape} disagree with {expected}"
+            )
+        if edge_index.ndim != 2 or edge_index.shape[0] != 2:
+            raise SerializationError(
+                f"graph-data archive {path}: edge_index has shape "
+                f"{edge_index.shape}, expected (2, E)"
+            )
+        if y_class.shape != (n_nodes,) or y_score.shape != (n_nodes,):
+            raise SerializationError(
+                f"graph-data archive {path}: label vectors "
+                f"{y_class.shape}/{y_score.shape} disagree with "
+                f"({n_nodes},)"
+            )
+        return GraphData(
+            design=metadata["design"],
+            node_names=list(metadata["node_names"]),
+            x=x,
+            x_raw=x_raw,
+            edge_index=edge_index,
+            y_class=y_class,
+            y_score=y_score,
+            feature_names=list(metadata["feature_names"]),
+        )
+
+
+# ----------------------------------------------------------------------
+# explanation reports
+# ----------------------------------------------------------------------
+def save_explanations(explanations: List, path: PathLike) -> None:
+    """Write GNNExplainer reports to one ``.npz``.
+
+    Ragged per-node payloads (subgraph node lists, edge-importance
+    triples) are stored concatenated with an ``indptr`` offset table —
+    the CSR trick — so the archive stays a flat set of typed arrays.
+    """
+    metadata = {
+        "node_names": [e.node_name for e in explanations],
+        "node_indices": [int(e.node_index) for e in explanations],
+        "predicted_classes": [
+            int(e.predicted_class) for e in explanations
+        ],
+        "feature_names": (
+            list(explanations[0].feature_names) if explanations else []
+        ),
+    }
+    n = len(explanations)
+    feature_scores = (
+        np.stack([e.feature_scores for e in explanations])
+        if explanations else np.zeros((0, 0))
+    )
+    node_indptr = np.zeros(n + 1, dtype=np.int64)
+    edge_indptr = np.zeros(n + 1, dtype=np.int64)
+    for i, e in enumerate(explanations):
+        node_indptr[i + 1] = node_indptr[i] + len(e.subgraph_nodes)
+        edge_indptr[i + 1] = edge_indptr[i] + len(e.edge_importance)
+    subgraph_nodes = np.concatenate(
+        [np.asarray(e.subgraph_nodes, dtype=np.int64)
+         for e in explanations]
+    ) if n and node_indptr[-1] else np.zeros(0, dtype=np.int64)
+    edge_ends = np.zeros((int(edge_indptr[-1]), 2), dtype=np.int64)
+    edge_weights = np.zeros(int(edge_indptr[-1]), dtype=np.float64)
+    for i, e in enumerate(explanations):
+        lo, hi = int(edge_indptr[i]), int(edge_indptr[i + 1])
+        for j, (source, target, weight) in enumerate(e.edge_importance):
+            edge_ends[lo + j] = (source, target)
+            edge_weights[lo + j] = weight
+    np.savez_compressed(
+        path,
+        metadata=np.frombuffer(
+            json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+        ),
+        feature_scores=np.asarray(feature_scores, dtype=np.float64),
+        node_indptr=node_indptr,
+        subgraph_nodes=subgraph_nodes,
+        edge_indptr=edge_indptr,
+        edge_ends=edge_ends,
+        edge_weights=edge_weights,
+    )
+
+
+def load_explanations(path: PathLike) -> List:
+    """Read reports written by :func:`save_explanations` (validated)."""
+    from repro.explain.gnn_explainer import Explanation
+
+    with _open_npz(path, "explanations") as archive:
+        metadata = _archive_metadata(
+            archive, path, "explanations",
+            required=("node_names", "node_indices",
+                      "predicted_classes", "feature_names"),
+        )
+        names = metadata["node_names"]
+        n = len(names)
+        scores = _archive_array(archive, "feature_scores", path,
+                                "explanations", "f")
+        node_indptr = _archive_array(archive, "node_indptr", path,
+                                     "explanations", "iu")
+        subgraph_nodes = _archive_array(archive, "subgraph_nodes", path,
+                                        "explanations", "iu")
+        edge_indptr = _archive_array(archive, "edge_indptr", path,
+                                     "explanations", "iu")
+        edge_ends = _archive_array(archive, "edge_ends", path,
+                                   "explanations", "iu")
+        edge_weights = _archive_array(archive, "edge_weights", path,
+                                      "explanations", "f")
+        if (len(node_indptr) != n + 1 or len(edge_indptr) != n + 1
+                or (n and scores.shape[0] != n)):
+            raise SerializationError(
+                f"explanations archive {path}: offset tables disagree "
+                f"with {n} explanations"
+            )
+        if (int(node_indptr[-1]) != len(subgraph_nodes)
+                or int(edge_indptr[-1]) != len(edge_weights)
+                or edge_ends.shape != (len(edge_weights), 2)):
+            raise SerializationError(
+                f"explanations archive {path}: ragged payloads are "
+                "truncated"
+            )
+        explanations = []
+        for i in range(n):
+            node_lo, node_hi = int(node_indptr[i]), int(node_indptr[i + 1])
+            edge_lo, edge_hi = int(edge_indptr[i]), int(edge_indptr[i + 1])
+            explanations.append(Explanation(
+                node_name=names[i],
+                node_index=int(metadata["node_indices"][i]),
+                predicted_class=int(metadata["predicted_classes"][i]),
+                feature_names=list(metadata["feature_names"]),
+                feature_scores=scores[i],
+                subgraph_nodes=[
+                    int(v) for v in subgraph_nodes[node_lo:node_hi]
+                ],
+                edge_importance=[
+                    (int(edge_ends[j, 0]), int(edge_ends[j, 1]),
+                     float(edge_weights[j]))
+                    for j in range(edge_lo, edge_hi)
+                ],
+            ))
+        return explanations

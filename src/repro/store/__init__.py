@@ -1,0 +1,55 @@
+"""Content-addressed artifact store: cross-invocation memoization of
+every pipeline stage.
+
+See :mod:`repro.store.store` for the on-disk contract,
+:mod:`repro.store.keys` for the identity scheme, and
+:mod:`repro.store.memo` for the analyzer glue.
+"""
+
+from repro.store.keys import (
+    STORE_SCHEMA,
+    baselines_key,
+    campaign_key,
+    classifier_key,
+    dataset_key,
+    explanations_key,
+    features_key,
+    graph_key,
+    gridsearch_key,
+    netlist_key,
+    regressor_key,
+    stage_key,
+    workloads_key,
+)
+from repro.store.memo import (
+    AnalysisMemo,
+    ensure_netlist_cached,
+    memoized_campaign,
+)
+from repro.store.store import (
+    DEFAULT_BYTE_BUDGET,
+    KIND_EXTENSIONS,
+    ArtifactStore,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "AnalysisMemo",
+    "memoized_campaign",
+    "ensure_netlist_cached",
+    "DEFAULT_BYTE_BUDGET",
+    "KIND_EXTENSIONS",
+    "STORE_SCHEMA",
+    "stage_key",
+    "netlist_key",
+    "workloads_key",
+    "campaign_key",
+    "features_key",
+    "dataset_key",
+    "graph_key",
+    "classifier_key",
+    "regressor_key",
+    "explanations_key",
+    "gridsearch_key",
+    "baselines_key",
+]
